@@ -1,0 +1,441 @@
+package protoderive
+
+// The benchmark harness regenerates, for every experiment row of
+// EXPERIMENTS.md, the corresponding measurement: derivation cost and
+// message counts across parameterized workloads, attribute evaluation,
+// state-space exploration, equivalence checking, the centralized-baseline
+// comparison (E10), the partial-order-reduction ablation, and the
+// concurrent-runtime throughput.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem .
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/attr"
+	"repro/internal/compose"
+	"repro/internal/core"
+	"repro/internal/equiv"
+	"repro/internal/lotos"
+	"repro/internal/lts"
+	"repro/internal/mutate"
+	"repro/internal/sim"
+)
+
+const benchExample3 = `
+SPEC S [> interrupt3; exit WHERE
+  PROC S = (read1; push2; S >> pop2; write3; exit)
+        [] (eof1; make3; exit)
+  END
+ENDSPEC`
+
+// --- workload generators ----------------------------------------------------
+
+// chainSpec builds a sequential service of k events cycling over n places:
+// a1; a2; ...; an; a1; ...; exit.
+func chainSpec(n, k int) string {
+	var b strings.Builder
+	b.WriteString("SPEC ")
+	for i := 0; i < k; i++ {
+		fmt.Fprintf(&b, "a%d; ", i%n+1)
+	}
+	b.WriteString("exit ENDSPEC")
+	return b.String()
+}
+
+// choiceSpec builds a service with k alternatives decided at place 1, each
+// visiting a distinct subset of the n places and ending at place n.
+func choiceSpec(n, k int) string {
+	var alts []string
+	for i := 0; i < k; i++ {
+		mid := i%(n-1) + 1
+		alts = append(alts, fmt.Sprintf("(c%d1; m%d%d; z%d; exit)", i, i, mid, n))
+	}
+	return "SPEC " + strings.Join(alts, " [] ") + " ENDSPEC"
+}
+
+// parallelSpec builds n independent per-place sequences of length k joined
+// by "|||", wrapped between a start and an end event.
+func parallelSpec(n, k int) string {
+	var parts []string
+	for p := 1; p <= n; p++ {
+		var seq []string
+		for i := 0; i < k; i++ {
+			seq = append(seq, fmt.Sprintf("w%d%d; ", i, p))
+		}
+		parts = append(parts, "("+strings.Join(seq, "")+"exit)")
+	}
+	return fmt.Sprintf("SPEC a1; exit >> (%s) >> z1; exit ENDSPEC", strings.Join(parts, " ||| "))
+}
+
+// recursiveSpec builds a tail-recursive service over n places with a local
+// exit choice at place 1.
+func recursiveSpec(n int) string {
+	var body strings.Builder
+	for p := 1; p <= n; p++ {
+		fmt.Fprintf(&body, "t%d; ", p)
+	}
+	return fmt.Sprintf("SPEC A WHERE PROC A = %sA [] q1; t%d; exit END ENDSPEC", body.String(), n)
+}
+
+func mustSpec(b *testing.B, src string) *lotos.Spec {
+	b.Helper()
+	sp, err := lotos.Parse(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sp
+}
+
+// --- E1: attribute evaluation (Figure 4) -------------------------------------
+
+func BenchmarkE1_AttributeTree(b *testing.B) {
+	src := benchExample3
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := lotos.MustParse(src)
+		if _, err := attr.Analyze(sp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E2/E3/E4/E5: the derivation algorithm -----------------------------------
+
+func BenchmarkE2_DeriveExample3(b *testing.B) {
+	sp := mustSpec(b, benchExample3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Derive(sp, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDerive_PlacesSweep(b *testing.B) {
+	for _, n := range []int{2, 4, 8, 16} {
+		src := chainSpec(n, 4*n)
+		sp := mustSpec(b, src)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var msgs int
+			for i := 0; i < b.N; i++ {
+				d, err := core.Derive(sp, core.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				msgs = d.SendCount()
+			}
+			b.ReportMetric(float64(msgs), "messages")
+		})
+	}
+}
+
+func BenchmarkDerive_SizeSweep(b *testing.B) {
+	for _, k := range []int{16, 64, 256, 1024} {
+		src := chainSpec(3, k)
+		sp := mustSpec(b, src)
+		b.Run(fmt.Sprintf("events=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Derive(sp, core.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	src := chainSpec(3, 256)
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := lotos.Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E8: message complexity ----------------------------------------------------
+
+func BenchmarkE8_Complexity(b *testing.B) {
+	d, err := core.Derive(mustSpec(b, benchExample3), core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		c := core.MessageComplexity(d.Service)
+		if c.Total() != 14 {
+			b.Fatalf("total %d", c.Total())
+		}
+	}
+}
+
+func BenchmarkE8_ComplexitySweep(b *testing.B) {
+	for _, n := range []int{2, 4, 8} {
+		d, err := core.Derive(mustSpec(b, choiceSpec(n, n)), core.Options{SkipRestrictions: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var total int
+			for i := 0; i < b.N; i++ {
+				total = core.MessageComplexity(d.Service).Total()
+			}
+			b.ReportMetric(float64(total), "messages")
+		})
+	}
+}
+
+// --- E9: verification -----------------------------------------------------------
+
+func BenchmarkE9_VerifySequence(b *testing.B) {
+	sp := mustSpec(b, chainSpec(3, 9))
+	d, err := core.Derive(sp, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		rep, err := compose.Verify(d.Service.Spec, d.Entities, compose.VerifyOptions{ObsDepth: 12})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Ok() {
+			b.Fatal("verification failed")
+		}
+	}
+}
+
+func BenchmarkE9_VerifyFileCopyNoDisable(b *testing.B) {
+	src := `
+SPEC S WHERE
+  PROC S = (read1; push2; S >> pop2; write3; exit)
+        [] (eof1; make3; exit)
+  END
+ENDSPEC`
+	d, err := core.Derive(mustSpec(b, src), core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		rep, err := compose.Verify(d.Service.Spec, d.Entities, compose.VerifyOptions{ObsDepth: 5, MaxStates: 120000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.TracesEqual {
+			b.Fatal("trace mismatch")
+		}
+	}
+}
+
+func BenchmarkExploreService(b *testing.B) {
+	sp := mustSpec(b, recursiveSpec(3))
+	lotos.Number(sp)
+	for i := 0; i < b.N; i++ {
+		g, err := lts.ExploreSpec(lotos.CloneSpec(sp), lts.Limits{MaxObsDepth: 10, MaxStates: 50000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if g.NumStates() == 0 {
+			b.Fatal("no states")
+		}
+	}
+}
+
+func BenchmarkWeakBisim(b *testing.B) {
+	g1, err := lts.ExploreSpec(mustSpec(b, chainSpec(3, 10)), lts.Limits{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g2, err := lts.ExploreSpec(mustSpec(b, chainSpec(3, 10)), lts.Limits{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if !equiv.WeakBisimilar(g1, g2) {
+			b.Fatal("not bisimilar")
+		}
+	}
+}
+
+// --- E10: centralized vs distributed messages -----------------------------------
+
+func BenchmarkE10_CentralizedVsDistributed(b *testing.B) {
+	for _, k := range []int{4, 16, 64} {
+		src := chainSpec(3, k)
+		sp := mustSpec(b, src)
+		b.Run(fmt.Sprintf("events=%d", k), func(b *testing.B) {
+			var dist, cen int
+			for i := 0; i < b.N; i++ {
+				d, err := core.Derive(sp, core.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				c, err := core.DeriveCentralized(sp, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				dist, cen = d.SendCount(), c.MessageCount()
+			}
+			b.ReportMetric(float64(dist), "distributed-msgs")
+			b.ReportMetric(float64(cen), "centralized-msgs")
+		})
+	}
+}
+
+// --- partial-order-reduction ablation --------------------------------------------
+
+func BenchmarkReductionAblation(b *testing.B) {
+	src := "SPEC a1; exit >> (b2; exit ||| c3; exit) >> d1; exit ENDSPEC"
+	d, err := core.Derive(mustSpec(b, src), core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, noRed := range []bool{false, true} {
+		name := "reduced"
+		if noRed {
+			name = "full"
+		}
+		b.Run(name, func(b *testing.B) {
+			var states int
+			for i := 0; i < b.N; i++ {
+				sys, err := compose.New(d.Entities, compose.Config{NoReduction: noRed})
+				if err != nil {
+					b.Fatal(err)
+				}
+				g, err := sys.Explore()
+				if err != nil {
+					b.Fatal(err)
+				}
+				states = g.NumStates()
+			}
+			b.ReportMetric(float64(states), "states")
+		})
+	}
+}
+
+// --- runtime throughput ------------------------------------------------------------
+
+func BenchmarkSimulationThroughput(b *testing.B) {
+	d, err := core.Derive(mustSpec(b, recursiveSpec(3)), core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const events = 60
+	b.ReportAllocs()
+	totalEvents := 0
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(d.Entities, sim.Config{Seed: int64(i + 1), MaxEvents: events})
+		if err != nil {
+			b.Fatal(err)
+		}
+		totalEvents += len(res.Trace)
+	}
+	b.ReportMetric(float64(totalEvents)/b.Elapsed().Seconds(), "events/s")
+}
+
+func BenchmarkFacadeWorkflow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		svc, err := ParseService("SPEC a1; b2; exit [] a1; c2; d3; b2; exit ENDSPEC")
+		if err != nil {
+			b.Fatal(err)
+		}
+		proto, err := svc.Derive()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if proto.MessageCount() == 0 {
+			b.Fatal("no messages")
+		}
+	}
+}
+
+// --- E13/E14 benches: optimizer and interrupt-mode trade-off ------------------
+
+func BenchmarkE13_Optimizer(b *testing.B) {
+	sp := mustSpec(b, `SPEC A WHERE PROC A = a1; b2; A [] c1; exit END ENDSPEC`)
+	d, err := core.Derive(sp, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var removed int
+	for i := 0; i < b.N; i++ {
+		res, err := compose.OptimizeMessages(d.Service.Spec, d.Entities,
+			compose.VerifyOptions{ObsDepth: 6, MaxStates: 60000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		removed = res.Before - res.After
+	}
+	b.ReportMetric(float64(removed), "removed-msgs")
+}
+
+func BenchmarkE14_InterruptModes(b *testing.B) {
+	src := "SPEC D [> d2; c1; exit WHERE PROC D = a1; b2; D END ENDSPEC"
+	for _, mode := range []core.InterruptMode{core.InterruptBroadcast, core.InterruptHandshake} {
+		name := "broadcast"
+		if mode == core.InterruptHandshake {
+			name = "handshake"
+		}
+		b.Run(name, func(b *testing.B) {
+			sp := mustSpec(b, src)
+			var msgs int
+			for i := 0; i < b.N; i++ {
+				d, err := core.Derive(sp, core.Options{Interrupt: mode})
+				if err != nil {
+					b.Fatal(err)
+				}
+				msgs = d.SendCount()
+			}
+			b.ReportMetric(float64(msgs), "messages")
+		})
+	}
+}
+
+func BenchmarkE15_ARQOverhead(b *testing.B) {
+	d, err := core.Derive(mustSpec(b, "SPEC a1; b2; c3; exit >> d2; e1; exit ENDSPEC"), core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, reliable := range []bool{false, true} {
+		name := "bare"
+		if reliable {
+			name = "arq"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := sim.Run(d.Entities, sim.Config{Seed: int64(i + 1), Reliable: reliable})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Completed {
+					b.Fatal("incomplete")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkE16_MutationSuite(b *testing.B) {
+	d, err := core.Derive(mustSpec(b, "SPEC a1; b2; c3; exit ENDSPEC"), core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var killed, total int
+	for i := 0; i < b.N; i++ {
+		killed, total = 0, 0
+		for _, m := range mutate.Generate(d.Entities) {
+			total++
+			rep, err := compose.Verify(d.Service.Spec, m.Entities,
+				compose.VerifyOptions{ObsDepth: 6, MaxStates: 100000})
+			if err != nil || !rep.Ok() {
+				killed++
+			}
+		}
+	}
+	b.ReportMetric(float64(killed), "killed")
+	b.ReportMetric(float64(total), "mutants")
+}

@@ -1,0 +1,91 @@
+// Command complexity reports the synchronization-message cost of deriving a
+// protocol from a service specification (Section 4.3 of the paper), overall
+// and per operator occurrence, and compares it with the centralized
+// "trivial solution" baseline of Section 3.
+//
+// Usage:
+//
+//	complexity [flags] service.spec     (or "-" for stdin)
+//
+// Flags:
+//
+//	-pernode    list the cost of every operator occurrence
+//	-server N   server place of the centralized baseline (0 = smallest)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/cli"
+	"repro/internal/core"
+	"repro/internal/lotos"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("complexity", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	perNode := fs.Bool("pernode", false, "per-operator-occurrence costs")
+	server := fs.Int("server", 0, "centralized baseline server place")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: complexity [flags] service.spec\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return cli.ExitUsage
+	}
+
+	src, err := cli.ReadInput(fs.Arg(0), stdin)
+	if err != nil {
+		fmt.Fprintln(stderr, "complexity:", err)
+		return cli.ExitUsage
+	}
+	sp, err := lotos.Parse(src)
+	if err != nil {
+		fmt.Fprintln(stderr, "complexity: parse:", err)
+		return cli.ExitUsage
+	}
+	d, err := core.Derive(sp, core.Options{})
+	if err != nil {
+		fmt.Fprintln(stderr, "complexity:", err)
+		return cli.ExitFail
+	}
+	c := core.MessageComplexity(d.Service)
+	fmt.Fprintln(stdout, "-- Distributed derivation (Section 4.3)")
+	fmt.Fprint(stdout, c)
+	if *perNode {
+		fmt.Fprintln(stdout, "per-node costs:")
+		for _, nc := range c.PerNode {
+			fmt.Fprintf(stdout, "  node %-4d %-15s %3d messages\n", nc.Node, nc.Op, nc.Messages)
+		}
+	}
+	if got := d.SendCount(); got != c.Total() {
+		fmt.Fprintf(stdout, "WARNING: derived send count %d differs from accounting %d\n", got, c.Total())
+		return cli.ExitFail
+	}
+
+	cen, err := core.DeriveCentralized(sp, *server)
+	if err != nil {
+		fmt.Fprintf(stdout, "\n-- Centralized baseline: not applicable (%v)\n", err)
+		return cli.ExitOK
+	}
+	fmt.Fprintln(stdout, "\n-- Centralized baseline (Section 3 'trivial solution')")
+	fmt.Fprintf(stdout, "server place:        %d\n", cen.Server)
+	fmt.Fprintf(stdout, "messages:            %d (2 per remote primitive + halt broadcast)\n", cen.MessageCount())
+	fmt.Fprintf(stdout, "distributed total:   %d\n", c.Total())
+	switch {
+	case c.Total() < cen.MessageCount():
+		fmt.Fprintln(stdout, "verdict: distributed derivation needs fewer messages")
+	case c.Total() == cen.MessageCount():
+		fmt.Fprintln(stdout, "verdict: equal message counts")
+	default:
+		fmt.Fprintln(stdout, "verdict: centralized needs fewer messages for this service")
+	}
+	return cli.ExitOK
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cli"
+)
+
+func runCx(t *testing.T, args []string, stdin string) (int, string, string) {
+	t.Helper()
+	var out, errw strings.Builder
+	code := run(args, strings.NewReader(stdin), &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+func TestComplexityReport(t *testing.T) {
+	code, out, _ := runCx(t, []string{"-"}, "SPEC a1; b2; c3; exit ENDSPEC")
+	if code != cli.ExitOK {
+		t.Fatalf("exit %d\n%s", code, out)
+	}
+	for _, want := range []string{
+		"places n=3",
+		"total                  2",
+		"Centralized baseline",
+		"distributed derivation needs fewer messages",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestComplexityPerNode(t *testing.T) {
+	code, out, _ := runCx(t, []string{"-pernode", "-"}, "SPEC a1; b2; c3; exit ENDSPEC")
+	if code != cli.ExitOK || !strings.Contains(out, "per-node costs:") || !strings.Contains(out, "seq") {
+		t.Errorf("code=%d output:\n%s", code, out)
+	}
+}
+
+func TestComplexityDisableNoBaseline(t *testing.T) {
+	code, out, _ := runCx(t, []string{"-"}, "SPEC a1; b2; c3; exit [> d3; exit ENDSPEC")
+	if code != cli.ExitOK {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "not applicable") {
+		t.Errorf("baseline should be inapplicable for [>:\n%s", out)
+	}
+}
+
+func TestComplexityServerFlag(t *testing.T) {
+	code, out, _ := runCx(t, []string{"-server", "2", "-"}, "SPEC a1; b2; exit ENDSPEC")
+	if code != cli.ExitOK || !strings.Contains(out, "server place:        2") {
+		t.Errorf("code=%d output:\n%s", code, out)
+	}
+}
+
+func TestComplexityErrors(t *testing.T) {
+	if code, _, _ := runCx(t, nil, ""); code != cli.ExitUsage {
+		t.Errorf("missing input exit %d", code)
+	}
+	if code, _, _ := runCx(t, []string{"-"}, "junk"); code != cli.ExitUsage {
+		t.Errorf("parse error exit %d", code)
+	}
+	if code, _, _ := runCx(t, []string{"-"}, "SPEC i; a1; exit ENDSPEC"); code != cli.ExitFail {
+		t.Errorf("invalid service exit %d", code)
+	}
+}

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/cli"
+	"repro/internal/core"
+	"repro/internal/lotos"
+)
+
+// writeFiles materializes a service and its (derived) entities into a temp
+// directory and returns the conform arguments.
+func writeFiles(t *testing.T, serviceSrc string) []string {
+	t.Helper()
+	dir := t.TempDir()
+	servicePath := filepath.Join(dir, "service.spec")
+	if err := os.WriteFile(servicePath, []byte(serviceSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, err := core.Derive(lotos.MustParse(serviceSrc), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := []string{"-service", servicePath}
+	for _, p := range d.Places {
+		path := filepath.Join(dir, fmt.Sprintf("entity%d.spec", p))
+		if err := os.WriteFile(path, []byte(d.Entity(p).String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		args = append(args, fmt.Sprintf("%d=%s", p, path))
+	}
+	return args
+}
+
+func runConform(t *testing.T, args []string) (int, string, string) {
+	t.Helper()
+	var out, errw strings.Builder
+	code := run(args, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+func TestConformDerivedEntitiesPass(t *testing.T) {
+	args := writeFiles(t, "SPEC a1; b2; c3; exit ENDSPEC")
+	code, out, errw := runConform(t, args)
+	if code != cli.ExitOK {
+		t.Fatalf("exit %d\nout: %s\nerr: %s", code, out, errw)
+	}
+	if !strings.Contains(out, "verdict: OK") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestConformDetectsWrongEntities(t *testing.T) {
+	dir := t.TempDir()
+	servicePath := filepath.Join(dir, "service.spec")
+	os.WriteFile(servicePath, []byte("SPEC a1; b2; exit ENDSPEC"), 0o644)
+	// Unsynchronized entities: b2 may run before a1.
+	e1 := filepath.Join(dir, "e1.spec")
+	os.WriteFile(e1, []byte("SPEC a1; exit ENDSPEC"), 0o644)
+	e2 := filepath.Join(dir, "e2.spec")
+	os.WriteFile(e2, []byte("SPEC b2; exit ENDSPEC"), 0o644)
+	code, out, _ := runConform(t, []string{"-service", servicePath, "1=" + e1, "2=" + e2})
+	if code != cli.ExitFail {
+		t.Fatalf("exit %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "only in composed") {
+		t.Errorf("diagnostics missing:\n%s", out)
+	}
+}
+
+func TestConformSubsetVerdict(t *testing.T) {
+	dir := t.TempDir()
+	servicePath := filepath.Join(dir, "service.spec")
+	os.WriteFile(servicePath, []byte("SPEC a1; b2; exit [] c1; b2; exit ENDSPEC"), 0o644)
+	// Entities realizing only the first alternative: a strict subset.
+	e1 := filepath.Join(dir, "e1.spec")
+	os.WriteFile(e1, []byte("SPEC a1; s2(1); exit ENDSPEC"), 0o644)
+	e2 := filepath.Join(dir, "e2.spec")
+	os.WriteFile(e2, []byte("SPEC (r1(1); exit) >> b2; exit ENDSPEC"), 0o644)
+	// Full conformance fails...
+	code, _, _ := runConform(t, []string{"-service", servicePath, "1=" + e1, "2=" + e2})
+	if code != cli.ExitFail {
+		t.Fatalf("full conformance should fail, exit %d", code)
+	}
+	// ...subset conformance passes.
+	code, out, _ := runConform(t, []string{"-subset", "-service", servicePath, "1=" + e1, "2=" + e2})
+	if code != cli.ExitOK || !strings.Contains(out, "subset verdict: OK") {
+		t.Errorf("exit %d\n%s", code, out)
+	}
+}
+
+func TestConformUsageErrors(t *testing.T) {
+	if code, _, _ := runConform(t, nil); code != cli.ExitUsage {
+		t.Errorf("missing args exit %d", code)
+	}
+	if code, _, _ := runConform(t, []string{"-service", "/nonexistent", "1=x"}); code != cli.ExitUsage {
+		t.Errorf("missing service exit %d", code)
+	}
+	dir := t.TempDir()
+	servicePath := filepath.Join(dir, "s.spec")
+	os.WriteFile(servicePath, []byte("SPEC a1; exit ENDSPEC"), 0o644)
+	if code, _, _ := runConform(t, []string{"-service", servicePath, "notplace"}); code != cli.ExitUsage {
+		t.Errorf("bad entity arg exit %d", code)
+	}
+	if code, _, _ := runConform(t, []string{"-service", servicePath, "1=" + servicePath, "1=" + servicePath}); code != cli.ExitUsage {
+		t.Errorf("duplicate place exit %d", code)
+	}
+}

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExperimentsReport(t *testing.T) {
+	var out strings.Builder
+	run(&out, true)
+	report := out.String()
+	for _, want := range []string{
+		"E1 —", "ALL={1,2,3}",
+		"E2 —", "Protocol entity for place 3",
+		"E6 —", "a1 a1 b2 b2",
+		"E8 —", "total                 14",
+		"E9 —", "weakly bisimilar (exact)",
+		"E10 —", "centralized=6    distributed=3",
+		"E11 —", "deadlocks: 1",
+		"E13 —", "5 -> 2 messages",
+		"E14 —", "traces-equal=true",
+		"E15 —", "arq=4/4",
+		"all experiments regenerated",
+	} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if strings.Contains(report, "FAILED") || strings.Contains(report, "ERROR") {
+		t.Errorf("report contains failures:\n%s", report)
+	}
+}

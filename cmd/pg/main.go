@@ -1,0 +1,92 @@
+// Command pg is the Protocol Generator: it reads a service specification
+// and emits the derived protocol entity specifications, one per service
+// access point — the Go counterpart of the Prolog PG prototype described in
+// Section 4.2 of the paper.
+//
+// Usage:
+//
+//	pg [flags] service.spec     (or "-" for stdin)
+//
+// Flags:
+//
+//	-attrs       also print node numbering and SP/EP/AP attributes (Fig. 4)
+//	-place N     emit only the entity for place N
+//	-raw         keep the raw Table-3 output (no empty-elimination)
+//	-1986        restrict the input to the original SIGCOMM'86 subset
+//	-complexity  also print the Section 4.3 message-complexity table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/cli"
+	"repro/internal/core"
+	"repro/internal/lotos"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pg", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	attrs := fs.Bool("attrs", false, "print the attributed syntax tree (Figure 4)")
+	place := fs.Int("place", 0, "emit only the entity for this place (0 = all)")
+	raw := fs.Bool("raw", false, "keep the raw Table-3 output")
+	dialect86 := fs.Bool("1986", false, "restrict to the SIGCOMM'86 operator subset")
+	complexity := fs.Bool("complexity", false, "print the message-complexity table")
+	handshake := fs.Bool("handshake", false, "use the Section-3.3 request/acknowledge interrupt implementation")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: pg [flags] service.spec\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return cli.ExitUsage
+	}
+
+	src, err := cli.ReadInput(fs.Arg(0), stdin)
+	if err != nil {
+		fmt.Fprintln(stderr, "pg:", err)
+		return cli.ExitUsage
+	}
+	sp, err := lotos.Parse(src)
+	if err != nil {
+		fmt.Fprintln(stderr, "pg: parse:", err)
+		return cli.ExitUsage
+	}
+	mode := core.InterruptBroadcast
+	if *handshake {
+		mode = core.InterruptHandshake
+	}
+	d, err := core.Derive(sp, core.Options{KeepRedundant: *raw, Dialect1986: *dialect86, Interrupt: mode})
+	if err != nil {
+		fmt.Fprintln(stderr, "pg:", err)
+		fmt.Fprintln(stderr, "pg: see Sections 3.2-3.3 of the paper for the restrictions R1-R3")
+		return cli.ExitFail
+	}
+	if *attrs {
+		fmt.Fprintln(stdout, "-- Attributed syntax tree (Step 2 of the algorithm, cf. Figure 4)")
+		fmt.Fprint(stdout, d.Service.Tree())
+		fmt.Fprintln(stdout)
+	}
+	if *complexity {
+		fmt.Fprintln(stdout, "-- Message complexity (Section 4.3)")
+		fmt.Fprint(stdout, core.MessageComplexityMode(d.Service, mode))
+		fmt.Fprintln(stdout)
+	}
+	if *place != 0 {
+		e := d.Entity(*place)
+		if e == nil {
+			fmt.Fprintf(stderr, "pg: place %d is not a service place (places: %v)\n", *place, d.Places)
+			return cli.ExitUsage
+		}
+		fmt.Fprint(stdout, e.String())
+		return cli.ExitOK
+	}
+	fmt.Fprint(stdout, d.Render())
+	return cli.ExitOK
+}

@@ -1,0 +1,139 @@
+// Command verify derives the protocol for a service specification and
+// checks the paper's Section-5 correctness relation
+//
+//	S ≈ hide G in ((T_1 ||| ... ||| T_n) |[G]| Medium)
+//
+// by exact weak bisimulation when the composed state space is finite, and
+// by weak-trace equality up to a bounded observable depth plus deadlock
+// analysis otherwise. Optionally it also executes the derived entities
+// concurrently and checks every observed trace, and can run the verified
+// message optimizer.
+//
+// Usage:
+//
+//	verify [flags] service.spec     (or "-" for stdin)
+//
+// Flags:
+//
+//	-depth N      observable comparison depth (default 8)
+//	-cap N        medium channel capacity (default 1)
+//	-maxstates N  exploration state cap
+//	-sim N        additionally run N randomized concurrent simulations
+//	-seed S       simulation base seed
+//	-events N     simulation event bound (default 40)
+//	-optimize     remove non-essential messages (re-verifying each removal)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/cli"
+	"repro/internal/compose"
+	"repro/internal/core"
+	"repro/internal/lotos"
+	"repro/internal/sim"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("verify", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	depth := fs.Int("depth", 0, "observable comparison depth (0 = default 8)")
+	chanCap := fs.Int("cap", 0, "channel capacity (0 = default 1)")
+	maxStates := fs.Int("maxstates", 0, "state cap (0 = default)")
+	simRuns := fs.Int("sim", 0, "also run N randomized simulations")
+	seed := fs.Int64("seed", 1, "simulation base seed")
+	maxEvents := fs.Int("events", 40, "simulation event bound")
+	optimize := fs.Bool("optimize", false, "remove non-essential messages")
+	handshake := fs.Bool("handshake", false, "use the Section-3.3 request/acknowledge interrupt implementation")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: verify [flags] service.spec\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return cli.ExitUsage
+	}
+
+	src, err := cli.ReadInput(fs.Arg(0), stdin)
+	if err != nil {
+		fmt.Fprintln(stderr, "verify:", err)
+		return cli.ExitUsage
+	}
+	sp, err := lotos.Parse(src)
+	if err != nil {
+		fmt.Fprintln(stderr, "verify: parse:", err)
+		return cli.ExitUsage
+	}
+	mode := core.InterruptBroadcast
+	if *handshake {
+		mode = core.InterruptHandshake
+	}
+	d, err := core.Derive(sp, core.Options{Interrupt: mode})
+	if err != nil {
+		fmt.Fprintln(stderr, "verify:", err)
+		return cli.ExitFail
+	}
+	opts := compose.VerifyOptions{
+		ChannelCap: *chanCap,
+		ObsDepth:   *depth,
+		MaxStates:  *maxStates,
+	}
+	rep, err := compose.Verify(d.Service.Spec, d.Entities, opts)
+	if err != nil {
+		fmt.Fprintln(stderr, "verify:", err)
+		return cli.ExitFail
+	}
+	fmt.Fprint(stdout, rep.Summary())
+	if hasDisable(sp) && !rep.Ok() {
+		fmt.Fprintln(stdout, "note: the service uses '[>'; the Section-5 theorem excludes it and")
+		fmt.Fprintln(stdout, "the Section-3.3 implementation deviates by design (see EXPERIMENTS.md, E11)")
+	}
+
+	exitCode := cli.ExitOK
+	if !rep.Ok() {
+		exitCode = cli.ExitFail
+	}
+
+	entities := d.Entities
+	if *optimize {
+		res, err := compose.OptimizeMessages(d.Service.Spec, d.Entities, opts)
+		if err != nil {
+			fmt.Fprintln(stderr, "verify: optimize:", err)
+			return cli.ExitFail
+		}
+		fmt.Fprintf(stdout, "optimizer: %d -> %d messages (removed ids %v, %d candidates tried)\n",
+			res.Before, res.After, res.Removed, res.Tried)
+		entities = res.Entities
+	}
+
+	if *simRuns > 0 {
+		st, err := sim.RunMany(d.Service.Spec, entities, sim.Config{
+			Seed:      *seed,
+			MaxEvents: *maxEvents,
+		}, *simRuns, 0)
+		if err != nil {
+			fmt.Fprintf(stdout, "simulation: TRACE VIOLATION: %v\n", err)
+			exitCode = cli.ExitFail
+		} else {
+			fmt.Fprintf(stdout, "simulation: %d runs, %d completed, %d deadlocked, %d stopped at event bound, %d service events, %d messages; all traces valid\n",
+				st.Runs, st.Completed, st.Deadlocked, st.Stopped, st.Events, st.Sent)
+		}
+	}
+	return exitCode
+}
+
+func hasDisable(sp *lotos.Spec) bool {
+	found := false
+	lotos.WalkSpec(sp, func(e lotos.Expr) {
+		if _, ok := e.(*lotos.Disable); ok {
+			found = true
+		}
+	})
+	return found
+}

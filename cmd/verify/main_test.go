@@ -1,0 +1,92 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cli"
+)
+
+func runVerify(t *testing.T, args []string, stdin string) (int, string, string) {
+	t.Helper()
+	var out, errw strings.Builder
+	code := run(args, strings.NewReader(stdin), &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+func TestVerifyOK(t *testing.T) {
+	code, out, _ := runVerify(t, []string{"-"}, "SPEC a1; b2; c3; exit ENDSPEC")
+	if code != cli.ExitOK {
+		t.Fatalf("exit %d\n%s", code, out)
+	}
+	for _, want := range []string{"weak bisimulation: true", "verdict: OK"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestVerifyWithSimulation(t *testing.T) {
+	code, out, _ := runVerify(t, []string{"-sim", "3", "-"}, "SPEC a1; b2; exit ENDSPEC")
+	if code != cli.ExitOK {
+		t.Fatalf("exit %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "simulation: 3 runs, 3 completed") {
+		t.Errorf("simulation summary missing:\n%s", out)
+	}
+}
+
+func TestVerifyDisableNote(t *testing.T) {
+	code, out, _ := runVerify(t, []string{"-depth", "5", "-"},
+		"SPEC a1; b2; c3; exit [> d3; exit ENDSPEC")
+	if code != cli.ExitFail {
+		t.Fatalf("exit %d (the strict check must fail for [>)", code)
+	}
+	if !strings.Contains(out, "Section-3.3") {
+		t.Errorf("missing disabling note:\n%s", out)
+	}
+}
+
+func TestVerifyOptimize(t *testing.T) {
+	code, out, _ := runVerify(t,
+		[]string{"-optimize", "-depth", "6", "-maxstates", "60000", "-sim", "2", "-"},
+		"SPEC A WHERE PROC A = a1; b2; A [] c1; exit END ENDSPEC")
+	if code != cli.ExitOK {
+		t.Fatalf("exit %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "optimizer:") {
+		t.Errorf("missing optimizer report:\n%s", out)
+	}
+	// The optimized entities must still pass the simulation trace checks.
+	if !strings.Contains(out, "all traces valid") {
+		t.Errorf("simulation of optimized entities failed:\n%s", out)
+	}
+}
+
+func TestVerifyRejectsInvalidService(t *testing.T) {
+	code, _, errw := runVerify(t, []string{"-"}, "SPEC a1; exit [] b2; exit ENDSPEC")
+	if code != cli.ExitFail || !strings.Contains(errw, "R1") {
+		t.Errorf("code=%d err=%q", code, errw)
+	}
+}
+
+func TestVerifyUsageErrors(t *testing.T) {
+	if code, _, _ := runVerify(t, nil, ""); code != cli.ExitUsage {
+		t.Errorf("missing input exit %d", code)
+	}
+	if code, _, _ := runVerify(t, []string{"-"}, "junk"); code != cli.ExitUsage {
+		t.Errorf("parse error exit %d", code)
+	}
+}
+
+func TestVerifyHandshakeFlag(t *testing.T) {
+	code, out, _ := runVerify(t,
+		[]string{"-handshake", "-depth", "6", "-cap", "4", "-maxstates", "200000", "-"},
+		"SPEC D [> d2; c1; exit WHERE PROC D = a1; b2; D END ENDSPEC")
+	if code != cli.ExitOK {
+		t.Fatalf("exit %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "traces equal up to 6 observable steps: true") {
+		t.Errorf("handshake verification output:\n%s", out)
+	}
+}

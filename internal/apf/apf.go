@@ -1,0 +1,174 @@
+// Package apf implements the action-prefix-form transformation the paper
+// requires before derivation (Section 2, extension rules 9.1-9.4): the
+// right-hand side of every disabling operator "[>" must be a choice of
+// event-prefixed sequences,
+//
+//	Dis = [] (Event_Id_i ; Seq_i)   for i = 1..n.
+//
+// "Using expansion theorems every finitely branching expression can be
+// written in action prefix form" — this package applies exactly that: the
+// initial transitions of the right-hand side are derived with the
+// operational semantics (internal/lts, expansion theorems T1-T3 of Annex A)
+// and reassembled as a prefix-choice expression. The result is strongly
+// bisimilar to the original by the expansion theorem, which the tests check.
+package apf
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/lotos"
+	"repro/internal/lts"
+)
+
+// ErrInitialInternal is reported when a disabling right-hand side can start
+// with an internal action, which cannot be written in the paper's action
+// prefix form (rule 9.4 requires an Event_Id).
+var ErrInitialInternal = errors.New("apf: disabling expression has an initial internal action")
+
+// ErrInitialTermination is reported when a disabling right-hand side can
+// terminate immediately (initial δ), which has no action-prefix form.
+var ErrInitialTermination = errors.New("apf: disabling expression can terminate immediately")
+
+// ErrNoInitialAction is reported when a disabling right-hand side offers no
+// action at all (equivalent to stop), so no interruption could ever occur.
+var ErrNoInitialAction = errors.New("apf: disabling expression offers no initial action")
+
+// TransformSpec rewrites, in place, the right-hand side of every disabling
+// operator in the specification into action prefix form. It returns whether
+// anything changed. Specifications whose disabling parts are already in
+// action prefix form are returned unchanged.
+//
+// Note: the transformation introduces cloned subtrees; callers must
+// renumber the specification (lotos.Number or attr.Analyze) afterwards.
+func TransformSpec(sp *lotos.Spec) (bool, error) {
+	res, err := lotos.Resolve(sp)
+	if err != nil {
+		return false, err
+	}
+	env := lts.NewEnv(res)
+	changed := false
+	var transformBlock func(blk *lotos.DefBlock) error
+	transformBlock = func(blk *lotos.DefBlock) error {
+		e, c, err := transform(env, blk.Expr)
+		if err != nil {
+			return err
+		}
+		blk.Expr = e
+		changed = changed || c
+		for _, pd := range blk.Procs {
+			if err := transformBlock(pd.Body); err != nil {
+				return fmt.Errorf("in process %s: %w", pd.Name, err)
+			}
+		}
+		return nil
+	}
+	if err := transformBlock(sp.Root); err != nil {
+		return false, err
+	}
+	return changed, nil
+}
+
+// transform rewrites e bottom-up, expanding disabling right-hand sides.
+func transform(env *lts.Env, e lotos.Expr) (lotos.Expr, bool, error) {
+	switch x := e.(type) {
+	case *lotos.Prefix:
+		c, ch, err := transform(env, x.Cont)
+		if err != nil {
+			return nil, false, err
+		}
+		x.Cont = c
+		return x, ch, nil
+	case *lotos.Choice:
+		return transformBinary(env, x, &x.L, &x.R)
+	case *lotos.Parallel:
+		return transformBinary(env, x, &x.L, &x.R)
+	case *lotos.Enable:
+		return transformBinary(env, x, &x.L, &x.R)
+	case *lotos.Hide:
+		b, ch, err := transform(env, x.Body)
+		if err != nil {
+			return nil, false, err
+		}
+		x.Body = b
+		return x, ch, nil
+	case *lotos.Disable:
+		l, chL, err := transform(env, x.L)
+		if err != nil {
+			return nil, false, err
+		}
+		x.L = l
+		r, chR, err := transform(env, x.R)
+		if err != nil {
+			return nil, false, err
+		}
+		if isAPF(r) {
+			x.R = r
+			return x, chL || chR, nil
+		}
+		expanded, err := Expand(env, r)
+		if err != nil {
+			return nil, false, err
+		}
+		x.R = expanded
+		return x, true, nil
+	default:
+		return e, false, nil
+	}
+}
+
+func transformBinary(env *lts.Env, node lotos.Expr, l, r *lotos.Expr) (lotos.Expr, bool, error) {
+	nl, chL, err := transform(env, *l)
+	if err != nil {
+		return nil, false, err
+	}
+	*l = nl
+	nr, chR, err := transform(env, *r)
+	if err != nil {
+		return nil, false, err
+	}
+	*r = nr
+	return node, chL || chR, nil
+}
+
+// isAPF reports whether e is already a choice of prefixes.
+func isAPF(e lotos.Expr) bool {
+	switch x := e.(type) {
+	case *lotos.Prefix:
+		return true
+	case *lotos.Choice:
+		return isAPF(x.L) && isAPF(x.R)
+	default:
+		return false
+	}
+}
+
+// Expand rewrites e into action prefix form using one step of the expansion
+// theorem: e = [] { a_i ; B_i } where e --a_i--> B_i are the initial
+// transitions of e. Successor trees are cloned so the result shares no
+// nodes with other alternatives (callers renumber before deriving).
+//
+// Expansion fails for expressions with initial internal actions or initial
+// successful termination (no action-prefix form exists), and for
+// expressions offering no action at all.
+func Expand(env *lts.Env, e lotos.Expr) (lotos.Expr, error) {
+	ts, err := env.Transitions(e)
+	if err != nil {
+		return nil, err
+	}
+	if len(ts) == 0 {
+		return nil, fmt.Errorf("%w: %s", ErrNoInitialAction, lotos.Format(e))
+	}
+	var alts []lotos.Expr
+	for _, t := range ts {
+		switch t.Label.Kind {
+		case lts.LInternal:
+			return nil, fmt.Errorf("%w: %s", ErrInitialInternal, lotos.Format(e))
+		case lts.LDelta:
+			return nil, fmt.Errorf("%w: %s", ErrInitialTermination, lotos.Format(e))
+		default:
+			alts = append(alts, lotos.Pfx(t.Label.Ev, lotos.Clone(t.To)))
+		}
+	}
+	return lotos.ChoiceOf(alts...), nil
+}

@@ -1,0 +1,194 @@
+package apf
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/attr"
+	"repro/internal/equiv"
+	"repro/internal/lotos"
+	"repro/internal/lts"
+)
+
+func envFor(t *testing.T, sp *lotos.Spec) *lts.Env {
+	t.Helper()
+	env, err := lts.EnvFor(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func TestTransformLeavesAPFAlone(t *testing.T) {
+	sp := lotos.MustParse("SPEC a1; b1; exit [> d1; exit [] e1; exit ENDSPEC")
+	changed, err := TransformSpec(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed {
+		t.Error("already-APF spec must not change")
+	}
+}
+
+func TestTransformParallelRHS(t *testing.T) {
+	sp := lotos.MustParse("SPEC a1; b1; exit [> (c1; exit ||| d1; exit) ENDSPEC")
+	orig := lotos.CloneSpec(sp)
+	changed, err := TransformSpec(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed {
+		t.Fatal("expected transformation")
+	}
+	dis := sp.Root.Expr.(*lotos.Disable)
+	if !attr.InActionPrefixForm(dis.R) {
+		t.Fatalf("RHS not in APF: %s", lotos.Format(dis.R))
+	}
+	// Expansion preserves observational behaviour: compare with original.
+	lotos.Number(sp)
+	lotos.Number(orig)
+	g1, err := lts.ExploreSpec(orig, lts.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := lts.ExploreSpec(sp, lts.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equiv.WeakBisimilar(g1, g2) {
+		t.Error("transformed spec not weakly bisimilar to original")
+	}
+}
+
+func TestTransformNestedAndInProcs(t *testing.T) {
+	src := `
+SPEC A WHERE
+  PROC A = a1; b1; exit [> (c1; exit ||| d1; exit) END
+ENDSPEC`
+	sp := lotos.MustParse(src)
+	changed, err := TransformSpec(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed {
+		t.Fatal("expected transformation inside process body")
+	}
+	dis := sp.Root.Procs[0].Body.Expr.(*lotos.Disable)
+	if !attr.InActionPrefixForm(dis.R) {
+		t.Fatalf("RHS not APF: %s", lotos.Format(dis.R))
+	}
+}
+
+func TestTransformEnableRHS(t *testing.T) {
+	// (c1;exit >> d1;exit) has initial action c1 and is expandable.
+	sp := lotos.MustParse("SPEC a1; exit [> (c1; exit >> d1; exit) ENDSPEC")
+	changed, err := TransformSpec(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed {
+		t.Fatal("expected transformation")
+	}
+	dis := sp.Root.Expr.(*lotos.Disable)
+	pfx, ok := dis.R.(*lotos.Prefix)
+	if !ok {
+		t.Fatalf("RHS is %T", dis.R)
+	}
+	if pfx.Ev.String() != "c1" {
+		t.Errorf("first event %s", pfx.Ev)
+	}
+}
+
+func TestTransformErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want error
+	}{
+		{"SPEC a1; exit [> (exit >> c1; exit) ENDSPEC", ErrInitialInternal},
+		{"SPEC a1; exit [> (exit ||| exit) ENDSPEC", ErrInitialTermination},
+		{"SPEC a1; exit [> (stop ||| stop) ENDSPEC", ErrNoInitialAction},
+	}
+	for _, c := range cases {
+		sp := lotos.MustParse(c.src)
+		_, err := TransformSpec(sp)
+		if !errors.Is(err, c.want) {
+			t.Errorf("TransformSpec(%q): err = %v, want %v", c.src, err, c.want)
+		}
+	}
+}
+
+func TestExpandChoiceOfParallels(t *testing.T) {
+	sp := lotos.MustParse("SPEC exit ENDSPEC")
+	env := envFor(t, sp)
+	e := lotos.MustParseExpr("(a1; exit ||| b2; c3; exit)")
+	out, err := Expand(env, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !attr.InActionPrefixForm(out) {
+		t.Fatalf("not APF: %s", lotos.Format(out))
+	}
+	// Expansion: a1;(exit ||| b2;c3;exit) [] b2;(a1;exit ||| c3;exit).
+	ch, ok := out.(*lotos.Choice)
+	if !ok {
+		t.Fatalf("got %T", out)
+	}
+	l := ch.L.(*lotos.Prefix)
+	r := ch.R.(*lotos.Prefix)
+	if l.Ev.String() != "a1" || r.Ev.String() != "b2" {
+		t.Errorf("events %s %s", l.Ev, r.Ev)
+	}
+}
+
+func TestExpandClonesSuccessors(t *testing.T) {
+	// (a1;exit ||| a1;c3;exit): both alternatives reference parts of the
+	// original tree; Expand must clone so no node is shared.
+	sp := lotos.MustParse("SPEC exit ENDSPEC")
+	env := envFor(t, sp)
+	e := lotos.MustParseExpr("(a1; exit ||| a1; c3; exit)")
+	out, err := Expand(env, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[lotos.Expr]bool{}
+	dup := false
+	lotos.Walk(out, func(n lotos.Expr) {
+		if seen[n] {
+			dup = true
+		}
+		seen[n] = true
+	})
+	if dup {
+		t.Error("expanded tree shares nodes between alternatives")
+	}
+}
+
+func TestExpandPreservesBisimilarity(t *testing.T) {
+	exprs := []string{
+		"(a1; exit ||| b2; exit)",
+		"(a1; b1; exit ||| a1; c1; exit)",
+		"(a1; exit [] b2; exit) |[a1]| a1; exit",
+		"(a1; exit >> b2; exit) ||| c3; exit",
+	}
+	sp := lotos.MustParse("SPEC exit ENDSPEC")
+	env := envFor(t, sp)
+	for _, src := range exprs {
+		e := lotos.MustParseExpr(src)
+		out, err := Expand(env, lotos.Clone(e))
+		if err != nil {
+			t.Errorf("%s: %v", src, err)
+			continue
+		}
+		g1, err := lts.Explore(env, e, lts.Limits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g2, err := lts.Explore(env, out, lts.Limits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equiv.WeakBisimilar(g1, g2) {
+			t.Errorf("%s: expansion changed behaviour\n  got: %s", src, lotos.Format(out))
+		}
+	}
+}

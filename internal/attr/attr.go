@@ -1,0 +1,248 @@
+package attr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/lotos"
+)
+
+// Attrs bundles the three synthesized attributes of one syntax-tree node.
+type Attrs struct {
+	SP, EP, AP PlaceSet
+}
+
+func (a Attrs) String() string {
+	return fmt.Sprintf("SP=%s EP=%s AP=%s", a.SP, a.EP, a.AP)
+}
+
+func (a Attrs) equal(b Attrs) bool {
+	return a.SP.Equal(b.SP) && a.EP.Equal(b.EP) && a.AP.Equal(b.AP)
+}
+
+// Info is the attributed service specification: the result of Steps 1-2 of
+// the derivation algorithm.
+type Info struct {
+	// Spec is the analyzed specification (numbered in place by Analyze).
+	Spec *lotos.Spec
+	// Res is its name resolution.
+	Res *lotos.Resolution
+	// ByExpr maps every expression node to its attributes.
+	ByExpr map[lotos.Expr]Attrs
+	// ByProc maps every process definition to the attributes of its body.
+	ByProc map[*lotos.ProcDef]Attrs
+	// All is the attribute ALL: every place of the specification
+	// (AP of the start symbol).
+	All PlaceSet
+	// NumNodes is the number of numbered expression nodes.
+	NumNodes int
+	// Iterations is the number of fix-point passes that were required.
+	Iterations int
+}
+
+// Of returns the attributes of a node (the zero Attrs for unknown nodes).
+func (in *Info) Of(e lotos.Expr) Attrs { return in.ByExpr[e] }
+
+// Analyze numbers the specification, resolves process references, and
+// evaluates SP/EP/AP for every node by fix-point iteration. The input
+// must be a service specification: only service-primitive events are
+// allowed (no internal actions, no send/receive messages, no hiding).
+func Analyze(sp *lotos.Spec) (*Info, error) {
+	if err := checkServiceEvents(sp); err != nil {
+		return nil, err
+	}
+	n := lotos.Number(sp)
+	res, err := lotos.Resolve(sp)
+	if err != nil {
+		return nil, err
+	}
+	info := &Info{
+		Spec:     sp,
+		Res:      res,
+		ByExpr:   map[lotos.Expr]Attrs{},
+		ByProc:   map[*lotos.ProcDef]Attrs{},
+		NumNodes: n,
+	}
+	// Fix-point: process attributes start empty; re-synthesize bottom-up
+	// until no process attribute changes. All attribute equations are
+	// monotone over the finite powerset lattice, so this terminates.
+	for {
+		info.Iterations++
+		changed := false
+		for _, def := range res.Defs {
+			got := info.eval(def.Body.Expr)
+			if !got.equal(info.ByProc[def]) {
+				info.ByProc[def] = got
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		if info.Iterations > 2+4*len(res.Defs)+info.NumNodes {
+			return nil, fmt.Errorf("attr: fix-point did not converge (internal error)")
+		}
+	}
+	// Final bottom-up pass records per-node attributes everywhere.
+	root := info.eval(sp.Root.Expr)
+	for _, def := range res.Defs {
+		info.eval(def.Body.Expr)
+	}
+	info.All = root.AP
+	for _, def := range res.Defs {
+		info.All = info.All.Union(info.ByProc[def].AP)
+	}
+	return info, nil
+}
+
+// eval synthesizes the attributes of e bottom-up (Table 2), recording them
+// in ByExpr, using the current iterate for process references.
+func (in *Info) eval(e lotos.Expr) Attrs {
+	var a Attrs
+	switch x := e.(type) {
+	case *lotos.Exit, *lotos.Stop, *lotos.Empty:
+		a = Attrs{SP: NewPlaceSet(), EP: NewPlaceSet(), AP: NewPlaceSet()}
+
+	case *lotos.Prefix:
+		place := NewPlaceSet(x.Ev.Place)
+		cont := in.eval(x.Cont)
+		ep := cont.EP
+		if isTermination(x.Cont) {
+			// Rule 17: "Event_Id ; exit" ends at the event's own place.
+			ep = place
+		}
+		a = Attrs{
+			SP: place,
+			EP: ep,
+			AP: place.Union(cont.AP),
+		}
+
+	case *lotos.Choice:
+		l, r := in.eval(x.L), in.eval(x.R)
+		a = Attrs{SP: l.SP.Union(r.SP), EP: l.EP.Union(r.EP), AP: l.AP.Union(r.AP)}
+
+	case *lotos.Parallel:
+		l, r := in.eval(x.L), in.eval(x.R)
+		a = Attrs{SP: l.SP.Union(r.SP), EP: l.EP.Union(r.EP), AP: l.AP.Union(r.AP)}
+
+	case *lotos.Enable:
+		l, r := in.eval(x.L), in.eval(x.R)
+		a = Attrs{SP: l.SP, EP: r.EP, AP: l.AP.Union(r.AP)}
+
+	case *lotos.Disable:
+		l, r := in.eval(x.L), in.eval(x.R)
+		// Table 2 rule 9.1: SP is the union; EP(Par) = EP(Mc) is enforced by
+		// restriction R2, so the union below equals either side on valid
+		// input and stays well-defined during validation of invalid input.
+		a = Attrs{SP: l.SP.Union(r.SP), EP: l.EP.Union(r.EP), AP: l.AP.Union(r.AP)}
+
+	case *lotos.ProcRef:
+		def := x.Def
+		if def == nil {
+			def = in.Res.Def(x)
+		}
+		a = in.ByProc[def]
+		if a.SP.m == nil {
+			a = Attrs{SP: NewPlaceSet(), EP: NewPlaceSet(), AP: NewPlaceSet()}
+		}
+
+	default:
+		// checkServiceEvents rejects Hide before evaluation begins.
+		a = Attrs{SP: NewPlaceSet(), EP: NewPlaceSet(), AP: NewPlaceSet()}
+	}
+	in.ByExpr[e] = a
+	return a
+}
+
+// isTermination reports whether cont is "exit" (or the neutral Empty).
+func isTermination(e lotos.Expr) bool {
+	switch e.(type) {
+	case *lotos.Exit, *lotos.Empty:
+		return true
+	}
+	return false
+}
+
+// checkServiceEvents rejects constructs that may not occur in a service
+// specification handed to the derivation algorithm.
+func checkServiceEvents(sp *lotos.Spec) error {
+	var err error
+	lotos.WalkSpec(sp, func(e lotos.Expr) {
+		if err != nil {
+			return
+		}
+		switch x := e.(type) {
+		case *lotos.Prefix:
+			switch x.Ev.Kind {
+			case lotos.EvService:
+				if x.Ev.Place <= 0 {
+					err = fmt.Errorf("attr: service primitive %s has non-positive place", x.Ev)
+				}
+			case lotos.EvInternal:
+				err = fmt.Errorf("attr: internal action i is not allowed in a service specification")
+			default:
+				err = fmt.Errorf("attr: message interaction %s is not allowed in a service specification", x.Ev)
+			}
+		case *lotos.Hide:
+			err = fmt.Errorf("attr: hiding is not supported in service specifications")
+		case *lotos.Stop:
+			err = fmt.Errorf("attr: stop is not part of the service specification language")
+		}
+	})
+	return err
+}
+
+// Table renders the attribute annotation of every numbered node, one line
+// per node in node-number order — the textual form of the paper's Figure 4.
+func (in *Info) Table() string {
+	type row struct {
+		id   int
+		text string
+	}
+	var rows []row
+	for e, a := range in.ByExpr {
+		rows = append(rows, row{
+			id:   e.ID(),
+			text: fmt.Sprintf("N=%-3d %-12s SP=%-9s EP=%-9s AP=%-9s  %s", e.ID(), nodeKind(e), a.SP, a.EP, a.AP, clip(lotos.Format(e), 60)),
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].id < rows[j].id })
+	var b strings.Builder
+	fmt.Fprintf(&b, "ALL=%s  nodes=%d  iterations=%d\n", in.All, in.NumNodes, in.Iterations)
+	for _, r := range rows {
+		b.WriteString(r.text)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func nodeKind(e lotos.Expr) string {
+	switch e.(type) {
+	case *lotos.Prefix:
+		return "prefix"
+	case *lotos.Choice:
+		return "choice"
+	case *lotos.Parallel:
+		return "parallel"
+	case *lotos.Enable:
+		return "enable"
+	case *lotos.Disable:
+		return "disable"
+	case *lotos.ProcRef:
+		return "instantiate"
+	case *lotos.Exit:
+		return "exit"
+	case *lotos.Stop:
+		return "stop"
+	default:
+		return "?"
+	}
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-3] + "..."
+}

@@ -1,0 +1,359 @@
+package attr
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lotos"
+)
+
+func analyze(t *testing.T, src string) *Info {
+	t.Helper()
+	info, err := Analyze(lotos.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return info
+}
+
+func TestPlaceSetOps(t *testing.T) {
+	s := NewPlaceSet(3, 1, 2)
+	if s.String() != "{1,2,3}" {
+		t.Errorf("String = %s", s)
+	}
+	if !s.Contains(2) || s.Contains(4) || s.Len() != 3 || s.IsEmpty() {
+		t.Error("membership wrong")
+	}
+	u := NewPlaceSet(1).Union(NewPlaceSet(4))
+	if u.String() != "{1,4}" {
+		t.Errorf("union = %s", u)
+	}
+	m := s.Minus(NewPlaceSet(2))
+	if m.String() != "{1,3}" {
+		t.Errorf("minus = %s", m)
+	}
+	if mp := s.MinusPlace(1); mp.String() != "{2,3}" {
+		t.Errorf("minusplace = %s", mp)
+	}
+	if !NewPlaceSet(1, 2).Equal(NewPlaceSet(2, 1)) || NewPlaceSet(1).Equal(NewPlaceSet(2)) {
+		t.Error("equality wrong")
+	}
+	if !NewPlaceSet(1).SubsetOf(s) || s.SubsetOf(NewPlaceSet(1)) {
+		t.Error("subset wrong")
+	}
+	if p, ok := NewPlaceSet(7).Singleton(); !ok || p != 7 {
+		t.Error("singleton wrong")
+	}
+	if _, ok := s.Singleton(); ok {
+		t.Error("non-singleton reported singleton")
+	}
+	if !NewPlaceSet().IsEmpty() {
+		t.Error("empty set")
+	}
+}
+
+func TestSequenceAttributes(t *testing.T) {
+	info := analyze(t, "SPEC a1; b2; exit ENDSPEC")
+	root := info.Spec.Root.Expr
+	a := info.Of(root)
+	if a.SP.String() != "{1}" || a.EP.String() != "{2}" || a.AP.String() != "{1,2}" {
+		t.Errorf("got %s", a)
+	}
+	if info.All.String() != "{1,2}" {
+		t.Errorf("ALL = %s", info.All)
+	}
+}
+
+func TestEnableAttributes(t *testing.T) {
+	// Example 4: a1; exit >> b2; exit.
+	info := analyze(t, "SPEC a1; exit >> b2; exit ENDSPEC")
+	en := info.Spec.Root.Expr.(*lotos.Enable)
+	a := info.Of(en)
+	if a.SP.String() != "{1}" || a.EP.String() != "{2}" {
+		t.Errorf("enable attrs %s", a)
+	}
+	l := info.Of(en.L)
+	if l.EP.String() != "{1}" {
+		t.Errorf("rule 17: EP of a1;exit = %s, want {1}", l.EP)
+	}
+}
+
+func TestChoiceAttributes(t *testing.T) {
+	info := analyze(t, "SPEC a1; b2; exit [] a1; c2; exit ENDSPEC")
+	ch := info.Spec.Root.Expr.(*lotos.Choice)
+	a := info.Of(ch)
+	if a.SP.String() != "{1}" || a.EP.String() != "{2}" || a.AP.String() != "{1,2}" {
+		t.Errorf("choice attrs %s", a)
+	}
+}
+
+func TestParallelAttributes(t *testing.T) {
+	info := analyze(t, "SPEC a1; exit ||| b2; exit ENDSPEC")
+	a := info.Of(info.Spec.Root.Expr)
+	if a.SP.String() != "{1,2}" || a.EP.String() != "{1,2}" || a.AP.String() != "{1,2}" {
+		t.Errorf("parallel attrs %s", a)
+	}
+}
+
+func TestE1_Figure4Attributes(t *testing.T) {
+	// Example 3 / Figure 4 of the paper.
+	src := `
+SPEC S [> interrupt3; exit WHERE
+  PROC S = (read1; push2; S >> pop2; write3; exit)
+        [] (eof1; make3; exit)
+  END
+ENDSPEC`
+	info := analyze(t, src)
+
+	// The paper: SP(S) = {1}, EP(S) = {3}, AP(S) = {1,2,3}.
+	sAttrs := info.ByProc[info.Spec.Root.Procs[0]]
+	if sAttrs.SP.String() != "{1}" {
+		t.Errorf("SP(S) = %s, want {1}", sAttrs.SP)
+	}
+	if sAttrs.EP.String() != "{3}" {
+		t.Errorf("EP(S) = %s, want {3}", sAttrs.EP)
+	}
+	if sAttrs.AP.String() != "{1,2,3}" {
+		t.Errorf("AP(S) = %s, want {1,2,3}", sAttrs.AP)
+	}
+	if info.All.String() != "{1,2,3}" {
+		t.Errorf("ALL = %s, want {1,2,3}", info.All)
+	}
+
+	// Root disable node: Table 2 rule 9.1 gives SP = SP(Par) ∪ SP(Mc).
+	dis := info.Spec.Root.Expr.(*lotos.Disable)
+	d := info.Of(dis)
+	if d.SP.String() != "{1,3}" || d.EP.String() != "{3}" || d.AP.String() != "{1,2,3}" {
+		t.Errorf("disable attrs %s", d)
+	}
+
+	// Inner nodes from Figure 4: the enable expression inside S.
+	body := info.Spec.Root.Procs[0].Body.Expr.(*lotos.Choice)
+	en := body.L.(*lotos.Enable)
+	e := info.Of(en)
+	if e.SP.String() != "{1}" || e.EP.String() != "{3}" || e.AP.String() != "{1,2,3}" {
+		t.Errorf("enable attrs %s", e)
+	}
+	// read1; push2; S
+	l := info.Of(en.L)
+	if l.SP.String() != "{1}" || l.EP.String() != "{3}" || l.AP.String() != "{1,2,3}" {
+		t.Errorf("read1;push2;S attrs %s", l)
+	}
+	// pop2; write3; exit
+	r := info.Of(en.R)
+	if r.SP.String() != "{2}" || r.EP.String() != "{3}" || r.AP.String() != "{2,3}" {
+		t.Errorf("pop2;write3;exit attrs %s", r)
+	}
+	// eof1; make3; exit
+	right := info.Of(body.R)
+	if right.SP.String() != "{1}" || right.EP.String() != "{3}" || right.AP.String() != "{1,3}" {
+		t.Errorf("eof1;make3;exit attrs %s", right)
+	}
+}
+
+func TestExample2Attributes(t *testing.T) {
+	// Example 2 (i=1, k=2): non-regular (a1)^n (b2)^n.
+	src := `SPEC A WHERE PROC A = (a1; A >> b2; exit) [] (a1; b2; exit) END ENDSPEC`
+	info := analyze(t, src)
+	a := info.ByProc[info.Spec.Root.Procs[0]]
+	if a.SP.String() != "{1}" || a.EP.String() != "{2}" || a.AP.String() != "{1,2}" {
+		t.Errorf("A attrs %s", a)
+	}
+}
+
+func TestNonTerminatingRecursionEP(t *testing.T) {
+	// PROC A = a1; A never terminates: EP(A) = {} by the strict Table-2
+	// equations (rule 16 propagates the continuation's EP).
+	info := analyze(t, "SPEC A WHERE PROC A = a1; A END ENDSPEC")
+	a := info.ByProc[info.Spec.Root.Procs[0]]
+	if !a.EP.IsEmpty() {
+		t.Errorf("EP(A) = %s, want {}", a.EP)
+	}
+	if a.SP.String() != "{1}" {
+		t.Errorf("SP(A) = %s", a.SP)
+	}
+}
+
+func TestMutualRecursionFixpoint(t *testing.T) {
+	src := `
+SPEC A WHERE
+  PROC A = a1; B END
+  PROC B = b2; A [] c3; exit END
+ENDSPEC`
+	info := analyze(t, src)
+	a := info.ByProc[info.Spec.Root.Procs[0]]
+	b := info.ByProc[info.Spec.Root.Procs[1]]
+	if a.SP.String() != "{1}" || b.SP.String() != "{2,3}" {
+		t.Errorf("SP: A=%s B=%s", a.SP, b.SP)
+	}
+	if a.AP.String() != "{1,2,3}" || b.AP.String() != "{1,2,3}" {
+		t.Errorf("AP: A=%s B=%s", a.AP, b.AP)
+	}
+	if a.EP.String() != "{3}" || b.EP.String() != "{3}" {
+		t.Errorf("EP: A=%s B=%s", a.EP, b.EP)
+	}
+	if info.Iterations < 2 {
+		t.Errorf("expected at least 2 fix-point iterations, got %d", info.Iterations)
+	}
+}
+
+func TestAnalyzeRejectsNonServiceConstructs(t *testing.T) {
+	bad := []string{
+		"SPEC i; a1; exit ENDSPEC",
+		"SPEC s2(7); exit ENDSPEC",
+		"SPEC r1(4); exit ENDSPEC",
+		"SPEC hide a1 in (a1; exit) ENDSPEC",
+		"SPEC a1; stop ENDSPEC",
+	}
+	for _, src := range bad {
+		if _, err := Analyze(lotos.MustParse(src)); err == nil {
+			t.Errorf("Analyze(%q): expected error", src)
+		}
+	}
+}
+
+func TestRestrictionR1(t *testing.T) {
+	// Alternatives starting at different places violate R1.
+	info := analyze(t, "SPEC a1; exit [] b2; c1; exit ENDSPEC")
+	errs := info.CheckRestrictions()
+	if !hasRule(errs, "R1") {
+		t.Errorf("expected R1 violation, got %v", errs)
+	}
+	// Multiple starting places in one alternative violate R1 too.
+	info2 := analyze(t, "SPEC (a1; exit ||| b2; exit) [] c1; d2; exit ENDSPEC")
+	if !hasRule(info2.CheckRestrictions(), "R1") {
+		t.Error("expected R1 violation for parallel start")
+	}
+}
+
+func TestRestrictionR2Choice(t *testing.T) {
+	info := analyze(t, "SPEC a1; b2; exit [] a1; c3; exit ENDSPEC")
+	if !hasRule(info.CheckRestrictions(), "R2") {
+		t.Error("expected R2 violation")
+	}
+}
+
+func TestRestrictionR2R3Disable(t *testing.T) {
+	// EP(normal) = {2}, disabling part starts and ends at 3: R2 and R3.
+	info := analyze(t, "SPEC a1; b2; exit [> d3; e3; exit ENDSPEC")
+	errs := info.CheckRestrictions()
+	if !hasRule(errs, "R2") || !hasRule(errs, "R3") {
+		t.Errorf("expected R2 and R3 violations, got %v", errs)
+	}
+}
+
+func TestRestrictionAPF(t *testing.T) {
+	// Disabling right-hand side not in action-prefix form.
+	info := analyze(t, "SPEC a3; b3; exit [> (c3; exit ||| d3; exit) ENDSPEC")
+	if !hasRule(info.CheckRestrictions(), "APF") {
+		t.Error("expected APF violation")
+	}
+}
+
+func TestValidExamplesPassRestrictions(t *testing.T) {
+	good := []string{
+		`SPEC a1; exit >> b2; exit ENDSPEC`,
+		`SPEC A WHERE PROC A = (a1; A >> b2; exit) [] (a1; b2; exit) END ENDSPEC`,
+		`SPEC S [> interrupt3; exit WHERE
+		   PROC S = (read1; push2; S >> pop2; write3; exit) [] (eof1; make3; exit) END
+		 ENDSPEC`,
+		`SPEC B ||| B WHERE PROC B = (a1; (b2; exit ||| c3; exit)) >> g4; exit END ENDSPEC`,
+		`SPEC a1; b2; c3; exit [> d3; exit ENDSPEC`,
+	}
+	for _, src := range good {
+		if _, err := Validate(lotos.MustParse(src)); err != nil {
+			t.Errorf("Validate(%q): %v", src, err)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	if _, err := Validate(lotos.MustParse("SPEC a1; exit [] b2; exit ENDSPEC")); err == nil {
+		t.Error("expected validation failure")
+	}
+	var re *RestrictionError
+	_, err := Validate(lotos.MustParse("SPEC a1; exit [] b2; exit ENDSPEC"))
+	if !asRestriction(err, &re) {
+		t.Fatalf("error type %T", err)
+	}
+	if re.Rule != "R1" || !strings.Contains(re.Error(), "R1") {
+		t.Errorf("got %v", re)
+	}
+}
+
+func asRestriction(err error, out **RestrictionError) bool {
+	re, ok := err.(*RestrictionError)
+	if ok {
+		*out = re
+	}
+	return ok
+}
+
+func hasRule(errs []error, rule string) bool {
+	for _, err := range errs {
+		if re, ok := err.(*RestrictionError); ok && re.Rule == rule {
+			return true
+		}
+	}
+	return false
+}
+
+func TestInActionPrefixForm(t *testing.T) {
+	if !InActionPrefixForm(lotos.MustParseExpr("a1; exit")) {
+		t.Error("single prefix is APF")
+	}
+	if !InActionPrefixForm(lotos.MustParseExpr("a1; exit [] b2; c3; exit")) {
+		t.Error("choice of prefixes is APF")
+	}
+	if InActionPrefixForm(lotos.MustParseExpr("a1; exit ||| b2; exit")) {
+		t.Error("parallel is not APF")
+	}
+	if InActionPrefixForm(lotos.MustParseExpr("exit")) {
+		t.Error("exit is not APF")
+	}
+}
+
+func TestAttrTable(t *testing.T) {
+	info := analyze(t, "SPEC a1; b2; exit ENDSPEC")
+	tbl := info.Table()
+	if !strings.Contains(tbl, "ALL={1,2}") {
+		t.Errorf("table missing ALL: %s", tbl)
+	}
+	if !strings.Contains(tbl, "N=1") || !strings.Contains(tbl, "prefix") {
+		t.Errorf("table missing rows: %s", tbl)
+	}
+}
+
+func TestAttrsString(t *testing.T) {
+	a := Attrs{SP: NewPlaceSet(1), EP: NewPlaceSet(2), AP: NewPlaceSet(1, 2)}
+	if a.String() != "SP={1} EP={2} AP={1,2}" {
+		t.Errorf("got %q", a.String())
+	}
+}
+
+func TestTreeRendering(t *testing.T) {
+	src := `
+SPEC S [> interrupt3; exit WHERE
+  PROC S = (read1; push2; S >> pop2; write3; exit)
+        [] (eof1; make3; exit)
+  END
+ENDSPEC`
+	info := analyze(t, src)
+	tree := info.Tree()
+	for _, want := range []string{
+		"ALL={1,2,3}",
+		"[>",
+		"PROC S =",
+		"read1;",
+		"SP={1,3}",
+	} {
+		if !strings.Contains(tree, want) {
+			t.Errorf("tree missing %q:\n%s", want, tree)
+		}
+	}
+	// Indentation must reflect depth: the disable's children are indented.
+	lines := strings.Split(tree, "\n")
+	if len(lines) < 5 || !strings.HasPrefix(lines[2], "  ") {
+		t.Errorf("indentation wrong:\n%s", tree)
+	}
+}

@@ -1,0 +1,133 @@
+// Package attr implements Steps 1-2 of the paper's derivation algorithm
+// (Section 4.1): preorder node numbering N(x) and the synthesized attributes
+//
+//	SP(x) — Starting Places: where x's first actions execute,
+//	EP(x) — Ending Places:   where x's last actions execute,
+//	AP(x) — All Places:      every place involved in x,
+//
+// evaluated by the rules of Table 2 with a fix-point iteration over the
+// (possibly mutually recursive) process definitions: process attributes
+// start at the empty set and are re-synthesized bottom-up until stable,
+// which solves the recursive equations of Section 4.1 (the rule
+// "SP(A) := SP(A) ∪ X implies SP(A) := X").
+//
+// The package also validates that a specification is a well-formed service
+// specification satisfying the paper's restrictions R1, R2 and R3
+// (Sections 3.2-3.3).
+package attr
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PlaceSet is an immutable-by-convention set of service access points.
+// The zero value is the empty set.
+type PlaceSet struct {
+	m map[int]bool
+}
+
+// NewPlaceSet builds a set from the given places.
+func NewPlaceSet(places ...int) PlaceSet {
+	s := PlaceSet{m: map[int]bool{}}
+	for _, p := range places {
+		s.m[p] = true
+	}
+	return s
+}
+
+// Contains reports membership.
+func (s PlaceSet) Contains(p int) bool { return s.m[p] }
+
+// Len returns the cardinality.
+func (s PlaceSet) Len() int { return len(s.m) }
+
+// IsEmpty reports whether the set is empty.
+func (s PlaceSet) IsEmpty() bool { return len(s.m) == 0 }
+
+// Sorted returns the members in ascending order.
+func (s PlaceSet) Sorted() []int {
+	out := make([]int, 0, len(s.m))
+	for p := range s.m {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Union returns s ∪ t.
+func (s PlaceSet) Union(t PlaceSet) PlaceSet {
+	out := NewPlaceSet()
+	for p := range s.m {
+		out.m[p] = true
+	}
+	for p := range t.m {
+		out.m[p] = true
+	}
+	return out
+}
+
+// Minus returns s \ t.
+func (s PlaceSet) Minus(t PlaceSet) PlaceSet {
+	out := NewPlaceSet()
+	for p := range s.m {
+		if !t.m[p] {
+			out.m[p] = true
+		}
+	}
+	return out
+}
+
+// MinusPlace returns s \ {p}.
+func (s PlaceSet) MinusPlace(p int) PlaceSet {
+	return s.Minus(NewPlaceSet(p))
+}
+
+// Equal reports set equality.
+func (s PlaceSet) Equal(t PlaceSet) bool {
+	if len(s.m) != len(t.m) {
+		return false
+	}
+	for p := range s.m {
+		if !t.m[p] {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports s ⊆ t.
+func (s PlaceSet) SubsetOf(t PlaceSet) bool {
+	for p := range s.m {
+		if !t.m[p] {
+			return false
+		}
+	}
+	return true
+}
+
+// Singleton reports whether the set has exactly one member, returning it.
+func (s PlaceSet) Singleton() (int, bool) {
+	if len(s.m) != 1 {
+		return 0, false
+	}
+	for p := range s.m {
+		return p, true
+	}
+	return 0, false
+}
+
+// String renders the set in the paper's notation, e.g. "{1,2,3}".
+func (s PlaceSet) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range s.Sorted() {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(p))
+	}
+	b.WriteByte('}')
+	return b.String()
+}

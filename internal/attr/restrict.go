@@ -1,0 +1,126 @@
+package attr
+
+import (
+	"fmt"
+
+	"repro/internal/lotos"
+)
+
+// RestrictionError reports a violation of one of the paper's restrictions
+// on service specifications.
+type RestrictionError struct {
+	// Rule is "R1", "R2", "R3" or "APF" (action-prefix form of a
+	// disabling right-hand side, Section 2 extension rules 9.1-9.4).
+	Rule string
+	// Node is the offending expression.
+	Node lotos.Expr
+	// Detail describes the violation.
+	Detail string
+}
+
+// Error implements the error interface.
+func (e *RestrictionError) Error() string {
+	return fmt.Sprintf("restriction %s violated at node %d (%s): %s",
+		e.Rule, e.Node.ID(), clip(lotos.Format(e.Node), 50), e.Detail)
+}
+
+// CheckRestrictions validates the paper's restrictions over an attributed
+// specification:
+//
+//	R1 (Section 3.2): for every choice "e1 [] e2",
+//	    SP(e1) = SP(e2) = {p} for a single place p — the choice must be
+//	    resolved locally at one entity.
+//	R2 (Sections 3.2-3.3): EP(e1) = EP(e2) for every choice "e1 [] e2"
+//	    and every disabling "e1 [> e2".
+//	R3 (Section 3.3): EP(e1) ⊇ SP(e2) for every disabling "e1 [> e2".
+//	APF (Section 2): the right-hand side of "[>" must be in action-prefix
+//	    form, i.e. a choice of prefixed sequences (apply internal/apf
+//	    first for general expressions).
+//
+// It returns all violations found.
+func (in *Info) CheckRestrictions() []error {
+	var errs []error
+	lotos.WalkSpec(in.Spec, func(e lotos.Expr) {
+		switch x := e.(type) {
+		case *lotos.Choice:
+			l, r := in.Of(x.L), in.Of(x.R)
+			pl, okL := l.SP.Singleton()
+			pr, okR := r.SP.Singleton()
+			if !okL || !okR || pl != pr {
+				errs = append(errs, &RestrictionError{
+					Rule: "R1", Node: x,
+					Detail: fmt.Sprintf("starting places of the alternatives are SP=%s and SP=%s; both must be the same single place", l.SP, r.SP),
+				})
+			}
+			if !l.EP.Equal(r.EP) {
+				errs = append(errs, &RestrictionError{
+					Rule: "R2", Node: x,
+					Detail: fmt.Sprintf("ending places of the alternatives differ: EP=%s vs EP=%s", l.EP, r.EP),
+				})
+			}
+		case *lotos.Disable:
+			l, r := in.Of(x.L), in.Of(x.R)
+			if l.EP.IsEmpty() {
+				// The normal part cannot terminate (EP = {}), the typical
+				// use of disabling the paper describes ("in most cases
+				// where the disabling operator is used ... e1 does not
+				// terminate"). R2 and R3 guard the synchronization of
+				// normal termination, which cannot occur here, so they are
+				// vacuous; only the action-prefix form is required.
+				if !InActionPrefixForm(x.R) {
+					errs = append(errs, &RestrictionError{
+						Rule: "APF", Node: x,
+						Detail: "disabling right-hand side is not in action-prefix form (a choice of event-prefixed sequences); apply the apf transformation first",
+					})
+				}
+				return
+			}
+			if !l.EP.Equal(r.EP) {
+				errs = append(errs, &RestrictionError{
+					Rule: "R2", Node: x,
+					Detail: fmt.Sprintf("ending places of normal and disabling parts differ: EP=%s vs EP=%s", l.EP, r.EP),
+				})
+			}
+			if !r.SP.SubsetOf(l.EP) {
+				errs = append(errs, &RestrictionError{
+					Rule: "R3", Node: x,
+					Detail: fmt.Sprintf("starting places of the disabling part SP=%s are not contained in the ending places of the normal part EP=%s", r.SP, l.EP),
+				})
+			}
+			if !InActionPrefixForm(x.R) {
+				errs = append(errs, &RestrictionError{
+					Rule: "APF", Node: x,
+					Detail: "disabling right-hand side is not in action-prefix form (a choice of event-prefixed sequences); apply the apf transformation first",
+				})
+			}
+		}
+	})
+	return errs
+}
+
+// InActionPrefixForm reports whether e matches the extension grammar
+// Mc --> Pref [] Mc | Pref, Pref --> Event_Id ; Seq (rules 9.2-9.4):
+// a right-nested (or arbitrary) choice tree whose leaves are prefixes.
+func InActionPrefixForm(e lotos.Expr) bool {
+	switch x := e.(type) {
+	case *lotos.Prefix:
+		return true
+	case *lotos.Choice:
+		return InActionPrefixForm(x.L) && InActionPrefixForm(x.R)
+	default:
+		return false
+	}
+}
+
+// Validate is Analyze followed by CheckRestrictions; it returns the
+// attributed specification only when every restriction holds.
+func Validate(sp *lotos.Spec) (*Info, error) {
+	info, err := Analyze(sp)
+	if err != nil {
+		return nil, err
+	}
+	if errs := info.CheckRestrictions(); len(errs) > 0 {
+		return nil, errs[0]
+	}
+	return info, nil
+}

@@ -1,0 +1,85 @@
+package attr
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/lotos"
+)
+
+// Tree renders the attributed syntax tree as an indented outline — the
+// textual form of the paper's Figure 4: every node with its number N, its
+// operator, and the three attribute sets.
+//
+//	N=1  [>             SP={1,3} EP={3} AP={1,2,3}
+//	  N=2  S            SP={1}   EP={3} AP={1,2,3}
+//	  N=3  interrupt3;  SP={3}   EP={3} AP={3}
+//	...
+func (in *Info) Tree() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ALL=%s\n", in.All)
+	in.writeTree(&b, in.Spec.Root.Expr, 0)
+	for _, pd := range procDefs(in.Spec.Root) {
+		fmt.Fprintf(&b, "PROC %s =\n", pd.Name)
+		in.writeTree(&b, pd.Body.Expr, 1)
+	}
+	return b.String()
+}
+
+// procDefs flattens the (possibly nested) process definitions in
+// declaration order.
+func procDefs(blk *lotos.DefBlock) []*lotos.ProcDef {
+	var out []*lotos.ProcDef
+	var walk func(*lotos.DefBlock)
+	walk = func(b *lotos.DefBlock) {
+		for _, pd := range b.Procs {
+			out = append(out, pd)
+			walk(pd.Body)
+		}
+	}
+	walk(blk)
+	return out
+}
+
+func (in *Info) writeTree(b *strings.Builder, e lotos.Expr, depth int) {
+	a := in.Of(e)
+	fmt.Fprintf(b, "%sN=%-3d %-14s SP=%-8s EP=%-8s AP=%s\n",
+		strings.Repeat("  ", depth), e.ID(), treeLabel(e), a.SP, a.EP, a.AP)
+	for _, c := range lotos.Children(e) {
+		in.writeTree(b, c, depth+1)
+	}
+}
+
+// treeLabel names a node by its operator or leaf content.
+func treeLabel(e lotos.Expr) string {
+	switch x := e.(type) {
+	case *lotos.Prefix:
+		return x.Ev.String() + ";"
+	case *lotos.Choice:
+		return "[]"
+	case *lotos.Parallel:
+		switch x.Kind {
+		case lotos.ParInterleave:
+			return "|||"
+		case lotos.ParFull:
+			return "||"
+		default:
+			return "|[" + lotos.FormatGateSet(x.Sync) + "]|"
+		}
+	case *lotos.Enable:
+		return ">>"
+	case *lotos.Disable:
+		return "[>"
+	case *lotos.ProcRef:
+		return x.Name
+	case *lotos.Exit:
+		return "exit"
+	case *lotos.Stop:
+		return "stop"
+	case *lotos.Empty:
+		return "empty"
+	case *lotos.Hide:
+		return "hide"
+	}
+	return "?"
+}

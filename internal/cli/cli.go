@@ -1,0 +1,33 @@
+// Package cli holds the small shared plumbing of the command-line tools:
+// input reading and exit-code conventions.
+package cli
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// Exit codes shared by the tools.
+const (
+	// ExitOK: success (for verify: the protocol provides the service).
+	ExitOK = 0
+	// ExitFail: the analysis ran but the verdict is negative.
+	ExitFail = 1
+	// ExitUsage: bad input or usage error.
+	ExitUsage = 2
+)
+
+// ReadInput reads the specification source from a path, or from stdin when
+// the path is "-".
+func ReadInput(path string, stdin io.Reader) (string, error) {
+	if path == "" {
+		return "", fmt.Errorf("missing input file (use '-' for stdin)")
+	}
+	if path == "-" {
+		b, err := io.ReadAll(stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(path)
+	return string(b), err
+}

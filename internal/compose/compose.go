@@ -1,0 +1,373 @@
+// Package compose builds the global behaviour of a derived protocol — the
+// right-hand side of the paper's correctness relation (Section 5):
+//
+//	hide G in ( ( T_1(S) ||| T_2(S) ||| ... ||| T_n(S) ) |[G]| Medium )
+//
+// as an explicit product transition system over the entity states and the
+// channel contents of the communication medium, with all message
+// interactions (the set G) hidden. The observable labels are exactly the
+// service primitives plus successful termination, so the result can be
+// compared against the service specification with internal/equiv.
+//
+// The medium follows Section 5.2: one FIFO channel per ordered pair of
+// places, no loss, duplication or reordering. The channel capacity is
+// configurable; the paper's proof assumes capacity 1, which is the default.
+// Successful termination synchronizes across the entities only — the
+// paper's Medium never terminates, and its algebraic proof composes
+// termination over the entities alone.
+package compose
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/lotos"
+	"repro/internal/lts"
+)
+
+// DefaultChannelCap is the per-channel capacity used by the Section-5 proof.
+const DefaultChannelCap = 1
+
+// Config tunes the product construction.
+type Config struct {
+	// ChannelCap bounds the number of messages in transit per ordered
+	// channel (default 1). Larger capacities approximate the unbounded
+	// medium of the service architecture.
+	ChannelCap int
+	// Limits bounds the exploration of the product state space.
+	Limits lts.Limits
+	// NoReduction disables the partial-order reduction (see source.Next)
+	// and explores every interleaving. Exponentially slower; kept for the
+	// reduction-soundness tests and the ablation benchmark.
+	NoReduction bool
+}
+
+// System is a set of protocol entities ready for product exploration.
+type System struct {
+	// Places lists the entity places in ascending order.
+	Places []int
+	// Entities holds one specification per place.
+	Entities map[int]*lotos.Spec
+
+	envs map[int]*lts.Env
+	cfg  Config
+	// Entity-local state interning: every distinct entity expression gets
+	// a small integer id per place, so global state keys stay short and
+	// local transitions are derived once per entity state.
+	intern map[int]map[string]int // place -> canon -> local id
+	local  map[int][]localState   // place -> local id -> state
+}
+
+// localState is one interned entity-local state. Transitions are derived
+// lazily (entities may be infinite-state under recursion, so the local
+// graphs cannot be built eagerly).
+type localState struct {
+	expr    lotos.Expr
+	derived bool
+	trans   []cachedTrans
+}
+
+// cachedTrans is an entity-local transition targeting an interned state.
+type cachedTrans struct {
+	label lts.Label
+	to    int // local state id
+}
+
+// internState assigns (or recalls) the local id of an entity expression.
+func (s *System) internState(place int, e lotos.Expr) (int, error) {
+	key := lotos.Canon(e)
+	if id, ok := s.intern[place][key]; ok {
+		return id, nil
+	}
+	id := len(s.local[place])
+	s.intern[place][key] = id
+	s.local[place] = append(s.local[place], localState{expr: e})
+	return id, nil
+}
+
+// localTrans derives (once) and returns the transitions of a local state.
+func (s *System) localTrans(place, id int) ([]cachedTrans, error) {
+	st := &s.local[place][id]
+	if st.derived {
+		return st.trans, nil
+	}
+	ts, err := s.envs[place].Transitions(st.expr)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]cachedTrans, len(ts))
+	for i, t := range ts {
+		toID, err := s.internState(place, t.To)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = cachedTrans{label: t.Label, to: toID}
+	}
+	// Re-take the pointer: internState may have grown the backing array.
+	st = &s.local[place][id]
+	st.trans = out
+	st.derived = true
+	return out, nil
+}
+
+// New prepares a system from derived entities. Each entity is resolved
+// independently (entities have their own process name spaces).
+func New(entities map[int]*lotos.Spec, cfg Config) (*System, error) {
+	if cfg.ChannelCap <= 0 {
+		cfg.ChannelCap = DefaultChannelCap
+	}
+	sys := &System{
+		Entities: entities,
+		envs:     map[int]*lts.Env{},
+		cfg:      cfg,
+		intern:   map[int]map[string]int{},
+		local:    map[int][]localState{},
+	}
+	for p := range entities {
+		sys.Places = append(sys.Places, p)
+	}
+	sort.Ints(sys.Places)
+	for _, p := range sys.Places {
+		env, err := lts.EnvFor(entities[p])
+		if err != nil {
+			return nil, fmt.Errorf("compose: entity %d: %w", p, err)
+		}
+		sys.envs[p] = env
+		sys.intern[p] = map[string]int{}
+	}
+	return sys, nil
+}
+
+// message is one in-flight synchronization message.
+type message struct {
+	Node int
+	Occ  string
+	Tag  string
+}
+
+func msgOf(ev lotos.Event) message {
+	return message{Node: ev.Node, Occ: ev.Occ, Tag: ev.Tag}
+}
+
+// flushingRecv reports whether a receive event carries the interrupt-
+// handshake flush semantics: consuming it discards everything queued
+// before it on its channel (the messages were addressed to the normal part
+// the interrupt killed).
+func flushingRecv(ev lotos.Event) bool {
+	return ev.Tag == "" && core.FlushingMsgID(ev.Node)
+}
+
+// consumeFrom returns the channel contents after consuming the wanted
+// message, honouring flush semantics, or ok=false when not consumable.
+func consumeFrom(q []message, ev lotos.Event) (rest []message, ok bool) {
+	want := msgOf(ev)
+	if len(q) == 0 {
+		return nil, false
+	}
+	if !flushingRecv(ev) {
+		if q[0] != want {
+			return nil, false
+		}
+		return append([]message(nil), q[1:]...), true
+	}
+	for i, m := range q {
+		if m == want {
+			return append([]message(nil), q[i+1:]...), true
+		}
+	}
+	return nil, false
+}
+
+func (m message) String() string {
+	if m.Tag != "" {
+		return m.Tag
+	}
+	return fmt.Sprintf("%d#%s", m.Node, m.Occ)
+}
+
+// gstate is one global state: the interned local-state ids of the entities
+// (indexed like Places) and the channel contents, keyed by "from>to".
+type gstate struct {
+	locals []int
+	chans  map[string][]message
+}
+
+func chanKey(from, to int) string { return fmt.Sprintf("%d>%d", from, to) }
+
+// key builds the canonical global state key.
+func (s *System) key(g *gstate) string {
+	var b strings.Builder
+	for i, id := range g.locals {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		b.WriteString(strconv.Itoa(id))
+	}
+	// Channels in deterministic order.
+	keys := make([]string, 0, len(g.chans))
+	for k, msgs := range g.chans {
+		if len(msgs) == 0 {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b.WriteString(";")
+		b.WriteString(k)
+		b.WriteString("=")
+		for _, m := range g.chans[k] {
+			b.WriteString(m.String())
+			b.WriteByte(',')
+		}
+	}
+	return b.String()
+}
+
+// clone copies the state with one entity local state replaced.
+func (g *gstate) clone(idx, localID int) *gstate {
+	out := &gstate{locals: append([]int(nil), g.locals...), chans: g.chans}
+	out.locals[idx] = localID
+	return out
+}
+
+// cloneChans additionally deep-copies the channel map for mutation.
+func (g *gstate) cloneChans(idx, localID int) *gstate {
+	out := g.clone(idx, localID)
+	chans := make(map[string][]message, len(g.chans))
+	for k, v := range g.chans {
+		chans[k] = v
+	}
+	out.chans = chans
+	return out
+}
+
+// source implements lts.StateSource over the product system.
+type source struct {
+	sys *System
+}
+
+// Next derives all global transitions of a product state:
+//
+//   - a service primitive of entity i -> observable transition;
+//   - an internal action of entity i  -> internal transition;
+//   - a send s_j(m) of entity i       -> internal transition enqueueing m on
+//     channel i->j, enabled while the channel has room;
+//   - a receive r_j(m) of entity i    -> internal transition consuming m,
+//     enabled when m is at the head of channel j->i (FIFO);
+//   - successful termination          -> one global δ when every entity can
+//     terminate (δ synchronizes across the interleaved entities).
+func (src *source) Next(state any) ([]lts.GenTransition, error) {
+	g := state.(*gstate)
+	sys := src.sys
+
+	// Partial-order reduction: if some entity's ONLY local transition is an
+	// internal action or an enabled receive, fire it as the state's sole
+	// global transition. Such a move is invisible, persistently enabled
+	// (only this entity consumes its queue heads; senders append at the
+	// tail), cannot disable any other entity's move (consuming a message
+	// only frees channel capacity), and cannot commit a local choice
+	// (there is no alternative). Every interleaving from this state is
+	// therefore weakly equivalent to one that takes the move first.
+	// Sends are NOT eligible: with bounded channels, reordering two sends
+	// onto one channel changes the FIFO order.
+	if !sys.cfg.NoReduction {
+		for idx, localID := range g.locals {
+			place := sys.Places[idx]
+			ts, err := sys.localTrans(place, localID)
+			if err != nil {
+				return nil, fmt.Errorf("entity %d: %w", place, err)
+			}
+			if len(ts) != 1 {
+				continue
+			}
+			t := ts[0]
+			switch {
+			case t.label.Kind == lts.LInternal:
+				next := g.clone(idx, t.to)
+				return []lts.GenTransition{{Label: lts.Internal(), Key: sys.key(next), To: next}}, nil
+			case t.label.Kind == lts.LEvent && t.label.Ev.Kind == lotos.EvRecv:
+				ev := t.label.Ev
+				ck := chanKey(ev.Place, place)
+				rest, ok := consumeFrom(g.chans[ck], ev)
+				if !ok {
+					continue // blocked; not eligible
+				}
+				next := g.cloneChans(idx, t.to)
+				next.chans[ck] = rest
+				return []lts.GenTransition{{Label: lts.Internal(), Key: sys.key(next), To: next}}, nil
+			}
+		}
+	}
+
+	var out []lts.GenTransition
+	deltaReady := 0
+	deltaTargets := make([]int, len(g.locals))
+	for idx, localID := range g.locals {
+		place := sys.Places[idx]
+		ts, err := sys.localTrans(place, localID)
+		if err != nil {
+			return nil, fmt.Errorf("entity %d: %w", place, err)
+		}
+		sawDelta := false
+		for _, t := range ts {
+			switch t.label.Kind {
+			case lts.LDelta:
+				if !sawDelta {
+					sawDelta = true
+					deltaReady++
+					deltaTargets[idx] = t.to
+				}
+			case lts.LInternal:
+				next := g.clone(idx, t.to)
+				out = append(out, lts.GenTransition{Label: lts.Internal(), Key: sys.key(next), To: next})
+			case lts.LEvent:
+				ev := t.label.Ev
+				switch ev.Kind {
+				case lotos.EvService:
+					next := g.clone(idx, t.to)
+					out = append(out, lts.GenTransition{Label: t.label, Key: sys.key(next), To: next})
+				case lotos.EvSend:
+					ck := chanKey(place, ev.Place)
+					if len(g.chans[ck]) >= sys.cfg.ChannelCap {
+						continue // channel full: the send blocks
+					}
+					next := g.cloneChans(idx, t.to)
+					next.chans[ck] = append(append([]message(nil), g.chans[ck]...), msgOf(ev))
+					out = append(out, lts.GenTransition{Label: lts.Internal(), Key: sys.key(next), To: next})
+				case lotos.EvRecv:
+					ck := chanKey(ev.Place, place)
+					rest, ok := consumeFrom(g.chans[ck], ev)
+					if !ok {
+						continue // no matching message consumable
+					}
+					next := g.cloneChans(idx, t.to)
+					next.chans[ck] = rest
+					out = append(out, lts.GenTransition{Label: lts.Internal(), Key: sys.key(next), To: next})
+				}
+			}
+		}
+	}
+	if deltaReady == len(g.locals) && len(g.locals) > 0 {
+		next := &gstate{locals: deltaTargets, chans: g.chans}
+		out = append(out, lts.GenTransition{Label: lts.Delta(), Key: sys.key(next), To: next})
+	}
+	return out, nil
+}
+
+// Explore builds the observable global transition graph of the composed
+// protocol system.
+func (s *System) Explore() (*lts.Graph, error) {
+	root := &gstate{chans: map[string][]message{}}
+	for _, p := range s.Places {
+		id, err := s.internState(p, s.Entities[p].Root.Expr)
+		if err != nil {
+			return nil, fmt.Errorf("compose: entity %d: %w", p, err)
+		}
+		root.locals = append(root.locals, id)
+	}
+	return lts.ExploreSource(&source{sys: s}, s.key(root), root, s.cfg.Limits)
+}

@@ -1,0 +1,110 @@
+package compose
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/lotos"
+)
+
+func optimize(t *testing.T, src string, opts VerifyOptions) (*core.Derivation, *OptimizeResult) {
+	t.Helper()
+	d, err := core.Derive(lotos.MustParse(src), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := OptimizeMessages(d.Service.Spec, d.Entities, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, res
+}
+
+func TestOptimizeKeepsEssentialMessage(t *testing.T) {
+	// a1; b2; exit needs its single synchronization message: removing it
+	// would let b2 run before a1.
+	d, res := optimize(t, "SPEC a1; b2; exit ENDSPEC", VerifyOptions{})
+	if len(res.Removed) != 0 {
+		t.Errorf("removed essential messages: %v", res.Removed)
+	}
+	if res.Before != d.SendCount() || res.After != res.Before {
+		t.Errorf("counts: %+v", res)
+	}
+}
+
+func TestOptimizeRemovesRedundantProcSynch(t *testing.T) {
+	// Tail recursion: the Proc_Synch message at each invocation of A is
+	// redundant — the a1->b2 sequence message already carries the ordering
+	// into the new instance.
+	src := `SPEC A WHERE PROC A = a1; b2; A [] c1; exit END ENDSPEC`
+	d, res := optimize(t, src, VerifyOptions{ObsDepth: 6, MaxStates: 60000})
+	if len(res.Removed) == 0 {
+		t.Fatalf("expected redundant messages, none removed (before=%d)", res.Before)
+	}
+	if res.After >= res.Before {
+		t.Errorf("no reduction: before=%d after=%d", res.Before, res.After)
+	}
+	// The optimized protocol still provides the service.
+	rep, err := Verify(d.Service.Spec, res.Entities, VerifyOptions{ObsDepth: 6, MaxStates: 60000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Errorf("optimized protocol fails verification:\n%s", rep.Summary())
+	}
+	t.Logf("removed %d/%d messages (%v)", res.Before-res.After, res.Before, res.Removed)
+}
+
+func TestOptimizeSequenceOfReturns(t *testing.T) {
+	// a1; b2; c1; exit: both messages (1->2 and 2->1) are essential.
+	_, res := optimize(t, "SPEC a1; b2; c1; exit ENDSPEC", VerifyOptions{})
+	if len(res.Removed) != 0 {
+		t.Errorf("removed essential messages: %v", res.Removed)
+	}
+}
+
+func TestOptimizeEntitiesStayWellFormed(t *testing.T) {
+	src := `SPEC A WHERE PROC A = a1; b2; A [] c1; exit END ENDSPEC`
+	_, res := optimize(t, src, VerifyOptions{ObsDepth: 6, MaxStates: 60000})
+	for p, sp := range res.Entities {
+		text := sp.String()
+		if _, err := lotos.Parse(text); err != nil {
+			t.Errorf("optimized entity %d does not re-parse: %v\n%s", p, err, text)
+		}
+	}
+}
+
+func TestOptimizeInputUntouched(t *testing.T) {
+	src := "SPEC a1; b2; exit ENDSPEC"
+	d, err := core.Derive(lotos.MustParse(src), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := d.Entity(1).String() + d.Entity(2).String()
+	if _, err := OptimizeMessages(d.Service.Spec, d.Entities, VerifyOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	after := d.Entity(1).String() + d.Entity(2).String()
+	if before != after {
+		t.Error("optimizer modified its input entities")
+	}
+}
+
+func TestOptimizeExample5(t *testing.T) {
+	// The Alternative and unwind messages of Example 5 are all load-bearing
+	// except possibly redundant Proc_Synch notifications; whatever the
+	// optimizer removes, the result must still verify.
+	src := `
+SPEC A WHERE
+  PROC A = (a1; b2; A >> c2; d3; exit) [] (e1; f3; exit) END
+ENDSPEC`
+	d, res := optimize(t, src, VerifyOptions{ObsDepth: 5, MaxStates: 80000})
+	rep, err := Verify(d.Service.Spec, res.Entities, VerifyOptions{ObsDepth: 6, MaxStates: 120000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Errorf("optimized Example 5 fails at greater depth:\n%s", rep.Summary())
+	}
+	t.Logf("example 5: %d -> %d messages (removed ids %v)", res.Before, res.After, res.Removed)
+}

@@ -1,0 +1,144 @@
+package compose
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/equiv"
+	"repro/internal/lotos"
+	"repro/internal/lts"
+)
+
+// Report is the outcome of checking the Section-5 correctness relation
+// S ≈ hide G in ((T_1 ||| ... ||| T_n) |[G]| Medium) for one service.
+type Report struct {
+	// ServiceGraph and ComposedGraph are the explored transition systems.
+	ServiceGraph  *lts.Graph
+	ComposedGraph *lts.Graph
+
+	// Complete reports that both state spaces were explored to closure, in
+	// which case WeakBisimilar is the exact verdict.
+	Complete bool
+	// WeakBisimilar is the weak-bisimulation verdict (valid when Complete).
+	WeakBisimilar bool
+
+	// ObsDepth is the observable depth used for the bounded trace check.
+	ObsDepth int
+	// TracesEqual reports equality of the weak trace sets up to ObsDepth.
+	TracesEqual bool
+	// OnlyService / OnlyComposed list example traces present on one side
+	// only (diagnostics, empty when TracesEqual).
+	OnlyService  []string
+	OnlyComposed []string
+	// ComposedSubset reports that every composed trace (up to ObsDepth) is
+	// a service trace — the weaker "safety" conformance that holds e.g.
+	// for the centralized baseline (which narrows choices) and fails for
+	// protocols that invent behaviour.
+	ComposedSubset bool
+	// ServiceSubset reports the converse: every service trace is realized.
+	ServiceSubset bool
+
+	// ComposedDeadlocks lists deadlocked composed states (none expected for
+	// a correct derivation of a deadlock-free service).
+	ComposedDeadlocks int
+}
+
+// Ok reports overall success: trace equality at the checked depth, no
+// composed deadlock, and — when complete exploration was possible — weak
+// bisimilarity.
+func (r *Report) Ok() bool {
+	if !r.TracesEqual || r.ComposedDeadlocks > 0 {
+		return false
+	}
+	if r.Complete && !r.WeakBisimilar {
+		return false
+	}
+	return true
+}
+
+// Summary renders a one-paragraph human-readable verdict.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "service: %d states / %d transitions (truncated=%v)\n",
+		r.ServiceGraph.NumStates(), r.ServiceGraph.NumTransitions(), r.ServiceGraph.Truncated)
+	fmt.Fprintf(&b, "composed: %d states / %d transitions (truncated=%v)\n",
+		r.ComposedGraph.NumStates(), r.ComposedGraph.NumTransitions(), r.ComposedGraph.Truncated)
+	if r.Complete {
+		fmt.Fprintf(&b, "weak bisimulation: %v\n", r.WeakBisimilar)
+	} else {
+		fmt.Fprintf(&b, "weak bisimulation: skipped (state space truncated)\n")
+	}
+	fmt.Fprintf(&b, "weak traces equal up to %d observable steps: %v\n", r.ObsDepth, r.TracesEqual)
+	for _, t := range r.OnlyService {
+		fmt.Fprintf(&b, "  only in service:  %q\n", t)
+	}
+	for _, t := range r.OnlyComposed {
+		fmt.Fprintf(&b, "  only in composed: %q\n", t)
+	}
+	fmt.Fprintf(&b, "composed deadlocks: %d\n", r.ComposedDeadlocks)
+	fmt.Fprintf(&b, "verdict: %v\n", map[bool]string{true: "OK", false: "FAIL"}[r.Ok()])
+	return b.String()
+}
+
+// VerifyOptions tunes Verify.
+type VerifyOptions struct {
+	// ChannelCap is the medium channel capacity (default 1).
+	ChannelCap int
+	// ObsDepth is the observable depth of the bounded trace comparison
+	// (default 8).
+	ObsDepth int
+	// MaxStates caps both explorations (default lts.DefaultMaxStates).
+	MaxStates int
+}
+
+// DefaultObsDepth is the default bounded-comparison depth.
+const DefaultObsDepth = 8
+
+// Verify checks a derived protocol against its service specification:
+// it explores the service and the composed protocol system to the same
+// observable depth, compares their weak trace sets, checks the composed
+// system for deadlocks and — when both state spaces are finite within the
+// limits — decides weak bisimulation.
+//
+// The service specification must be the analyzed clone actually derived
+// from (core.Derivation.Service.Spec), so that both sides use the same
+// normalized tree.
+func Verify(service *lotos.Spec, entities map[int]*lotos.Spec, opts VerifyOptions) (*Report, error) {
+	if opts.ObsDepth <= 0 {
+		opts.ObsDepth = DefaultObsDepth
+	}
+	lim := lts.Limits{MaxStates: opts.MaxStates, MaxObsDepth: opts.ObsDepth}
+
+	sg, err := lts.ExploreSpec(service, lim)
+	if err != nil {
+		return nil, fmt.Errorf("compose: exploring service: %w", err)
+	}
+	sys, err := New(entities, Config{ChannelCap: opts.ChannelCap, Limits: lim})
+	if err != nil {
+		return nil, err
+	}
+	cg, err := sys.Explore()
+	if err != nil {
+		return nil, fmt.Errorf("compose: exploring composed system: %w", err)
+	}
+
+	r := &Report{
+		ServiceGraph:  sg,
+		ComposedGraph: cg,
+		ObsDepth:      opts.ObsDepth,
+	}
+	r.TracesEqual = equiv.WeakTraceEquivalent(sg, cg, opts.ObsDepth)
+	r.ComposedSubset = true
+	r.ServiceSubset = true
+	if !r.TracesEqual {
+		r.OnlyService, r.OnlyComposed = equiv.TraceDiff(sg, cg, opts.ObsDepth, 5)
+		r.ComposedSubset = len(r.OnlyComposed) == 0
+		r.ServiceSubset = len(r.OnlyService) == 0
+	}
+	r.ComposedDeadlocks = len(cg.Deadlocks())
+	r.Complete = !sg.Truncated && !cg.Truncated
+	if r.Complete {
+		r.WeakBisimilar = equiv.WeakBisimilar(sg, cg)
+	}
+	return r, nil
+}

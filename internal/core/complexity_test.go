@@ -1,0 +1,152 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// complexitySuite is the spec set used for the Section 4.3 accounting
+// checks.
+var complexitySuite = []string{
+	"SPEC a1; exit ENDSPEC",
+	"SPEC a1; b2; exit ENDSPEC",
+	"SPEC a1; b2; c3; exit ENDSPEC",
+	"SPEC a1; exit >> b2; exit ENDSPEC",
+	"SPEC a1; b2; exit [] a1; c2; exit ENDSPEC",
+	"SPEC a1; c3; b2; exit [] e1; b2; exit ENDSPEC",
+	"SPEC a1; exit ||| b2; exit ENDSPEC",
+	"SPEC a1; exit >> (b2; exit ||| c3; exit) >> d1; exit ENDSPEC",
+	"SPEC a1; b2; c3; exit [> d3; exit ENDSPEC",
+	"SPEC a1; b2; c3; exit [> d3; e3; exit ENDSPEC",
+	`SPEC A WHERE PROC A = (a1; A >> b2; exit) [] (a1; b2; exit) END ENDSPEC`,
+	`SPEC B ||| B WHERE PROC B = (a1; (b2; exit ||| c3; exit)) >> g4; exit END ENDSPEC`,
+	example3Source,
+}
+
+// TestE8_ComplexityMatchesDerivedSends is the cross-check at the heart of
+// the Section 4.3 reproduction: the attribute-level message accounting
+// equals the number of send interactions in the derived entity texts.
+func TestE8_ComplexityMatchesDerivedSends(t *testing.T) {
+	for _, src := range complexitySuite {
+		d := mustDerive(t, src)
+		c := MessageComplexity(d.Service)
+		if got, want := c.Total(), d.SendCount(); got != want {
+			t.Errorf("%s:\n complexity total %d != derived sends %d\n%s", src, got, want, c)
+		}
+		// Receives must pair with sends one-to-one.
+		if got, want := d.ReceiveCount(), d.SendCount(); got != want {
+			t.Errorf("%s: receives %d != sends %d", src, got, want)
+		}
+	}
+}
+
+func TestE8_PaperBounds(t *testing.T) {
+	// Section 4.3 bounds per operator occurrence, for specifications whose
+	// ending/starting sets are singletons (the paper's implicit setting):
+	//   ';'/'>>'      at most 1 message
+	//   '[]'          at most n messages
+	//   '[>'          Rel at most n-1, Interr at most n-2 (nonempty cont)
+	//   instantiation at most n-1 messages
+	d := mustDerive(t, example3Source)
+	c := MessageComplexity(d.Service)
+	n := c.Places
+	if n != 3 {
+		t.Fatalf("n = %d", n)
+	}
+	for _, nc := range c.PerNode {
+		switch nc.Op {
+		case "seq":
+			if nc.Messages > 1 {
+				t.Errorf("seq node %d: %d messages, bound 1", nc.Node, nc.Messages)
+			}
+		case "choice":
+			if nc.Messages > n {
+				t.Errorf("choice node %d: %d messages, bound n=%d", nc.Node, nc.Messages, n)
+			}
+		case "disable-rel":
+			if nc.Messages > n-1 {
+				t.Errorf("rel node %d: %d messages, bound n-1=%d", nc.Node, nc.Messages, n-1)
+			}
+		case "disable-interr":
+			// Continuation of interrupt3 is exit: SP(e2) empty, so the
+			// broadcast reaches n-1 places (the 2n-3 total of the paper
+			// assumes a nonempty continuation).
+			if nc.Messages > n-1 {
+				t.Errorf("interr node %d: %d messages, bound n-1=%d", nc.Node, nc.Messages, n-1)
+			}
+		case "instantiate":
+			if nc.Messages > n-1 {
+				t.Errorf("instantiate node %d: %d messages, bound n-1=%d", nc.Node, nc.Messages, n-1)
+			}
+		}
+	}
+}
+
+func TestE8_Example3Breakdown(t *testing.T) {
+	// Hand-computed Section 4.3 accounting for Example 3 (n = 3):
+	//   seq: '>>' 1, read1 1, push2 1, pop2 1, eof1 1        =  5
+	//   choice: |AP(left)-AP(right)| = |{2}| = 1             =  1
+	//   Rel: EP(S)={3} broadcasts to 2 places                =  2
+	//   Interr: interrupt3 to ALL-{3}-{} = 2 places          =  2
+	//   Proc_Synch: two call sites of S, 1x2 each            =  4
+	d := mustDerive(t, example3Source)
+	c := MessageComplexity(d.Service)
+	if c.Seq != 5 {
+		t.Errorf("seq = %d, want 5", c.Seq)
+	}
+	if c.Choice != 1 {
+		t.Errorf("choice = %d, want 1", c.Choice)
+	}
+	if c.DisableRel != 2 {
+		t.Errorf("rel = %d, want 2", c.DisableRel)
+	}
+	if c.DisableInterr != 2 {
+		t.Errorf("interr = %d, want 2", c.DisableInterr)
+	}
+	if c.Instantiate != 4 {
+		t.Errorf("instantiate = %d, want 4", c.Instantiate)
+	}
+	if c.Total() != 14 {
+		t.Errorf("total = %d, want 14", c.Total())
+	}
+}
+
+func TestE8_ParallelMultiplication(t *testing.T) {
+	// Section 4.3: e1 >> (e2 ||| e3) >> e4 with the parallel parts at two
+	// different places doubles the '>>' messages on both sides.
+	d := mustDerive(t, "SPEC a1; exit >> (b2; exit ||| c3; exit) >> d1; exit ENDSPEC")
+	c := MessageComplexity(d.Service)
+	// First '>>': EP={1} -> SP={2,3}: 2 messages. Second: EP={2,3} -> SP={1}: 2.
+	if c.Seq != 4 {
+		t.Errorf("seq = %d, want 4 (2 per '>>' around the parallel)", c.Seq)
+	}
+}
+
+func TestE8_NoMessagesForPurelyLocal(t *testing.T) {
+	d := mustDerive(t, "SPEC a1; b1; exit [] c1; b1; exit ENDSPEC")
+	c := MessageComplexity(d.Service)
+	if c.Total() != 0 {
+		t.Errorf("single-place service must need no messages, got %d\n%s", c.Total(), c)
+	}
+}
+
+func TestComplexityString(t *testing.T) {
+	d := mustDerive(t, example3Source)
+	c := MessageComplexity(d.Service)
+	s := c.String()
+	for _, want := range []string{"places n=3", "seq", "choice", "Rel", "Interr", "total"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestComplexityPerNodeSorted(t *testing.T) {
+	d := mustDerive(t, example3Source)
+	c := MessageComplexity(d.Service)
+	for i := 1; i < len(c.PerNode); i++ {
+		if c.PerNode[i].Node < c.PerNode[i-1].Node {
+			t.Fatal("PerNode not sorted by node number")
+		}
+	}
+}

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"repro/internal/attr"
+	"repro/internal/lotos"
+)
+
+// This file implements the synchronization-message generators of Table 4.
+// Each returns a behaviour expression to be spliced into the derived entity
+// — an interleaving of "s_i(s,N); exit" / "r_i(s,N); exit" interactions, or
+// the neutral Empty when place p is not involved.
+//
+// Message identification: the paper identifies every synchronization message
+// with the number N(x) of the syntax-tree node that generated it. The
+// paper's derivation trees number every grammar non-terminal, so the
+// different generator functions always draw distinct numbers; our AST
+// collapses chain productions, so one node may feed several generators
+// (e.g. the first event of a choice alternative feeds both Synch_Left and
+// Alternative). msgID keeps the identifications injective by namespacing
+// N(x) per generator function.
+
+// Generator-function namespaces for message identifications.
+const (
+	msgSeq    = iota // Synch_Left / Synch_Right of action prefix (rules 16, 9.4)
+	msgSeqE          // Synch_Left / Synch_Right of '>>' (rule 7)
+	msgAlt           // Alternative (rules 14, 9.2)
+	msgRel           // Rel (rule 9.1)
+	msgInterr        // Interr (rule 9.4)
+	msgProc          // Proc_Synch (rule 18)
+	msgReq           // interrupt request (handshake mode, Section 3.3)
+	msgAck           // interrupt acknowledgment (handshake mode, Section 3.3)
+	msgSpan          // number of namespaces
+)
+
+// msgID builds the injective message identification for node and function.
+func msgID(node, fn int) int { return node*msgSpan + fn }
+
+// FlushingMsgID reports whether a numeric message identification belongs to
+// the interrupt-handshake control namespaces (request/acknowledgment).
+// Receives of such messages have FLUSH semantics: consuming the control
+// message discards every earlier message on the same channel — they were
+// addressed to a normal part that the interrupt has killed. This completes
+// the paper's Section 3.3 sketch, which implicitly assumes in-flight
+// messages of the interrupted phase can be discarded.
+func FlushingMsgID(id int) bool {
+	fn := id % msgSpan
+	return fn == msgReq || fn == msgAck
+}
+
+// send builds "( s_i(s,N);exit ||| ... ||| s_k(s,N);exit )" over the sorted
+// destination set, or Empty for an empty set (function send of Table 4).
+func send(dest attr.PlaceSet, node int) lotos.Expr {
+	places := dest.Sorted()
+	if len(places) == 0 {
+		return lotos.Emp()
+	}
+	parts := make([]lotos.Expr, len(places))
+	for i, q := range places {
+		parts[i] = lotos.Act(lotos.SendEvent(q, node))
+	}
+	return lotos.InterleaveOf(parts...)
+}
+
+// receive builds "( r_i(s,N);exit ||| ... ||| r_k(s,N);exit )" over the
+// sorted source set, or Empty (function receive of Table 4).
+func receive(src attr.PlaceSet, node int) lotos.Expr {
+	places := src.Sorted()
+	if len(places) == 0 {
+		return lotos.Emp()
+	}
+	parts := make([]lotos.Expr, len(places))
+	for i, q := range places {
+		parts[i] = lotos.Act(lotos.RecvEvent(q, node))
+	}
+	return lotos.InterleaveOf(parts...)
+}
+
+// synchLeft is Synch_Left_p(e1,e2): if p is an ending place of e1, send a
+// message identified by N(e1) to every starting place of e2 except p.
+func (pr *projector) synchLeft(e1, e2 lotos.Expr) lotos.Expr {
+	a1 := pr.info.Of(e1)
+	a2 := pr.info.Of(e2)
+	if !a1.EP.Contains(pr.place) {
+		return lotos.Emp()
+	}
+	return send(a2.SP.MinusPlace(pr.place), msgID(e1.ID(), msgSeqE))
+}
+
+// synchRight is Synch_Right_p(e1,e2): if p is a starting place of e2,
+// receive a message identified by N(e1) from every ending place of e1
+// except p.
+func (pr *projector) synchRight(e1, e2 lotos.Expr) lotos.Expr {
+	a1 := pr.info.Of(e1)
+	a2 := pr.info.Of(e2)
+	if !a2.SP.Contains(pr.place) {
+		return lotos.Emp()
+	}
+	return receive(a1.EP.MinusPlace(pr.place), msgID(e1.ID(), msgSeqE))
+}
+
+// synchLeftEvent specializes Synch_Left for rule 16, where e1 is the
+// prefixed event itself: EP(e1) = {place(Event_Id)} and N(e1) is the node
+// number of the prefix.
+func (pr *projector) synchLeftEvent(x *lotos.Prefix) lotos.Expr {
+	if pr.place != x.Ev.Place {
+		return lotos.Emp()
+	}
+	sp2 := pr.info.Of(x.Cont).SP
+	return send(sp2.MinusPlace(pr.place), msgID(x.ID(), msgSeq))
+}
+
+// synchRightEvent specializes Synch_Right for rule 16.
+func (pr *projector) synchRightEvent(x *lotos.Prefix) lotos.Expr {
+	sp2 := pr.info.Of(x.Cont).SP
+	if !sp2.Contains(pr.place) {
+		return lotos.Emp()
+	}
+	return receive(attr.NewPlaceSet(x.Ev.Place).MinusPlace(pr.place), msgID(x.ID(), msgSeq))
+}
+
+// alternative is Alternative_p(u,v) (Section 3.2): the starting place of the
+// chosen alternative u informs every place that participates in the other
+// alternative v but not in u, so that no entity is left with an empty
+// alternative it cannot distinguish.
+func (pr *projector) alternative(u, v lotos.Expr) lotos.Expr {
+	au := pr.info.Of(u)
+	av := pr.info.Of(v)
+	nonParticipants := av.AP.Minus(au.AP)
+	switch {
+	case au.SP.Contains(pr.place):
+		return send(nonParticipants.MinusPlace(pr.place), msgID(u.ID(), msgAlt))
+	case nonParticipants.Contains(pr.place):
+		return receive(au.SP, msgID(u.ID(), msgAlt))
+	default:
+		return lotos.Emp()
+	}
+}
+
+// rel is Rel_p(e) (Section 3.3): the termination barrier of the normal part
+// of a disabling expression. Every ending place broadcasts termination to
+// all other places and waits for the other ending places; every other place
+// waits for all ending places.
+func (pr *projector) rel(e lotos.Expr) lotos.Expr {
+	a := pr.info.Of(e)
+	all := pr.info.All
+	if a.EP.Contains(pr.place) {
+		return lotos.Ill(
+			send(all.MinusPlace(pr.place), msgID(e.ID(), msgRel)),
+			receive(a.EP.MinusPlace(pr.place), msgID(e.ID(), msgRel)),
+		)
+	}
+	return receive(a.EP, msgID(e.ID(), msgRel))
+}
+
+// interr is Interr_p(e1,e2) (Section 3.3, Table 4) for the first event of a
+// disabling alternative "Event_Id ; Seq": the interrupting place broadcasts
+// the interruption to every place that is notified neither as the
+// interrupter (SP(e1)) nor through the subsequent Synch_Left exchange
+// (SP(e2)).
+func (pr *projector) interr(x *lotos.Prefix) lotos.Expr {
+	sp1 := attr.NewPlaceSet(x.Ev.Place)
+	sp2 := pr.info.Of(x.Cont).SP
+	others := pr.info.All.Minus(sp1).Minus(sp2)
+	switch {
+	case sp1.Contains(pr.place):
+		return send(others, msgID(x.ID(), msgInterr))
+	case others.Contains(pr.place):
+		return receive(sp1, msgID(x.ID(), msgInterr))
+	default:
+		return lotos.Emp()
+	}
+}
+
+// interrReq and interrAck implement the "alternative implementation of
+// interruption" the paper sketches at the end of Section 3.3: before the
+// disabling event may occur, the interrupting place issues an interrupt
+// REQUEST to every other place; each place stops its normal execution on
+// reception and returns an ACKNOWLEDGMENT; only when all acknowledgments
+// have arrived does the disabling event execute. This satisfies the LOTOS
+// properties (a) and (b) up to trace equivalence (the paper's claim), at
+// the cost of 2(n-1) messages per interrupt instead of at most n-2.
+//
+// interrReq is the request phase seen from place p: the interrupter
+// broadcasts, everyone else receives (their first disabling action).
+func (pr *projector) interrReq(x *lotos.Prefix) lotos.Expr {
+	interrupter := x.Ev.Place
+	others := pr.info.All.MinusPlace(interrupter)
+	if pr.place == interrupter {
+		return send(others, msgID(x.ID(), msgReq))
+	}
+	if others.Contains(pr.place) {
+		return receive(attr.NewPlaceSet(interrupter), msgID(x.ID(), msgReq))
+	}
+	return lotos.Emp()
+}
+
+// interrAck is the acknowledgment phase seen from place p.
+func (pr *projector) interrAck(x *lotos.Prefix) lotos.Expr {
+	interrupter := x.Ev.Place
+	others := pr.info.All.MinusPlace(interrupter)
+	if pr.place == interrupter {
+		return receive(others, msgID(x.ID(), msgAck))
+	}
+	if others.Contains(pr.place) {
+		return send(attr.NewPlaceSet(interrupter), msgID(x.ID(), msgAck))
+	}
+	return lotos.Emp()
+}
+
+// procSynch is Proc_Synch_p(e) (Section 3.4): synchronization at the
+// process level. The starting places of the invoked process inform all
+// other places that a new instance begins; everyone else waits for that
+// notification before executing any action of the instance.
+func (pr *projector) procSynch(ref *lotos.ProcRef) lotos.Expr {
+	a := pr.info.Of(ref)
+	all := pr.info.All
+	if a.SP.Contains(pr.place) {
+		return send(all.Minus(a.SP), msgID(ref.ID(), msgProc))
+	}
+	return receive(a.SP, msgID(ref.ID(), msgProc))
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lotos"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden derivation outputs")
+
+// checkGolden compares got against the golden file, or rewrites it.
+func checkGolden(t *testing.T, goldenPath, got string) {
+	t.Helper()
+	if *updateGolden {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("derivation changed for %s:\n--- got ---\n%s\n--- want ---\n%s",
+			goldenPath, got, string(want))
+	}
+}
+
+// hasDisable reports whether the specification uses "[>".
+func hasDisable(sp *lotos.Spec) bool {
+	found := false
+	lotos.WalkSpec(sp, func(e lotos.Expr) {
+		if _, ok := e.(*lotos.Disable); ok {
+			found = true
+		}
+	})
+	return found
+}
+
+// TestGoldenDerivations pins the exact derived output for a corpus of
+// service specifications. Any change to the derivation rules, the message
+// numbering, the simplifier or the printer shows up as a diff here.
+// Regenerate intentionally with:
+//
+//	go test ./internal/core -run TestGoldenDerivations -update
+func TestGoldenDerivations(t *testing.T) {
+	specs, err := filepath.Glob(filepath.Join("testdata", "*.spec"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) < 8 {
+		t.Fatalf("corpus too small: %v", specs)
+	}
+	for _, path := range specs {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			srcBytes, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sp, err := lotos.Parse(string(srcBytes))
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			d, err := Derive(sp, Options{})
+			if err != nil {
+				t.Fatalf("derive: %v", err)
+			}
+			var b strings.Builder
+			b.WriteString(d.Render())
+			b.WriteString("-- Complexity\n")
+			b.WriteString(MessageComplexity(d.Service).String())
+
+			checkGolden(t, strings.TrimSuffix(path, ".spec")+".golden", b.String())
+
+			// Specifications with disabling also pin the handshake mode.
+			if hasDisable(sp) {
+				hd, err := Derive(sp, Options{Interrupt: InterruptHandshake})
+				if err != nil {
+					t.Fatalf("handshake derive: %v", err)
+				}
+				var hb strings.Builder
+				hb.WriteString(hd.Render())
+				hb.WriteString("-- Complexity\n")
+				hb.WriteString(MessageComplexityMode(hd.Service, InterruptHandshake).String())
+				checkGolden(t, strings.TrimSuffix(path, ".spec")+".handshake.golden", hb.String())
+			}
+		})
+	}
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"repro/internal/lotos"
+)
+
+// simplifySpec applies the "empty"-elimination rules of Section 4.2 to every
+// expression of the derived entity, in place:
+//
+//	empty ; e  = e        (never constructed: projection drops the prefix)
+//	empty >> e = e
+//	e >> empty = e
+//	e ||| empty = e
+//
+// plus the closure rules needed for whole sub-derivations that vanish at a
+// place: a choice, disabling or synchronized parallel whose two sides are
+// both empty is empty. Residual Empty nodes that cannot be elided (e.g. one
+// arm of a choice) are replaced by exit, which is their meaning.
+func simplifySpec(sp *lotos.Spec) {
+	simplifyBlock(sp.Root)
+}
+
+// SimplifySpec applies the Section 4.2 empty-elimination rewrite rules to a
+// derived entity specification, in place. It is exported for passes that
+// edit derived entities (e.g. the message optimizer) and need to re-normalize.
+func SimplifySpec(sp *lotos.Spec) { simplifySpec(sp) }
+
+func simplifyBlock(blk *lotos.DefBlock) {
+	blk.Expr = finalize(simplify(blk.Expr))
+	for _, pd := range blk.Procs {
+		simplifyBlock(pd.Body)
+	}
+}
+
+// simplify rewrites bottom-up, returning Empty whenever the whole
+// expression generates no interaction.
+func simplify(e lotos.Expr) lotos.Expr {
+	switch x := e.(type) {
+	case *lotos.Prefix:
+		x.Cont = finalize(simplify(x.Cont))
+		return x
+
+	case *lotos.Choice:
+		l := simplify(x.L)
+		r := simplify(x.R)
+		if lotos.IsEmpty(l) && lotos.IsEmpty(r) {
+			return lotos.Emp()
+		}
+		x.L = finalize(l)
+		x.R = finalize(r)
+		return x
+
+	case *lotos.Parallel:
+		l := simplify(x.L)
+		r := simplify(x.R)
+		if x.Kind == lotos.ParInterleave {
+			// e ||| empty = e.
+			if lotos.IsEmpty(l) {
+				return r
+			}
+			if lotos.IsEmpty(r) {
+				return l
+			}
+		}
+		if lotos.IsEmpty(l) && lotos.IsEmpty(r) {
+			return lotos.Emp()
+		}
+		x.L = finalize(l)
+		x.R = finalize(r)
+		return x
+
+	case *lotos.Enable:
+		l := simplify(x.L)
+		r := simplify(x.R)
+		// empty >> e = e ; e >> empty = e.
+		if lotos.IsEmpty(l) {
+			return r
+		}
+		if lotos.IsEmpty(r) {
+			return l
+		}
+		x.L = l
+		x.R = r
+		return x
+
+	case *lotos.Disable:
+		l := simplify(x.L)
+		r := simplify(x.R)
+		if lotos.IsEmpty(l) && lotos.IsEmpty(r) {
+			return lotos.Emp()
+		}
+		x.L = finalize(l)
+		x.R = finalize(r)
+		return x
+
+	case *lotos.Hide:
+		x.Body = finalize(simplify(x.Body))
+		return x
+	}
+	return e
+}
+
+// finalize converts a residual Empty into the exit it denotes, so that
+// derived entities contain no Empty nodes at positions where elision was
+// impossible.
+func finalize(e lotos.Expr) lotos.Expr {
+	if lotos.IsEmpty(e) {
+		return lotos.X()
+	}
+	return e
+}

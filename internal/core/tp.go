@@ -1,0 +1,287 @@
+package core
+
+import (
+	"repro/internal/attr"
+	"repro/internal/lotos"
+)
+
+// projector implements the derivation function T_p of Table 3 for one
+// place. It walks the attributed service syntax tree top-down and builds
+// the protocol entity expression for its place, inserting the
+// synchronization interactions of Table 4.
+type projector struct {
+	info  *attr.Info
+	place int
+	// raw disables the constructive "empty"-elision inside ">>" chains, so
+	// the full Table-3 skeleton (with neutral terminations in place of
+	// "empty") is visible in the output.
+	raw bool
+	// interrupt selects the disabling implementation (Section 3.3).
+	interrupt InterruptMode
+}
+
+// spec derives the whole entity specification (rules 1-6): same block
+// structure, same process names, projected bodies.
+func (pr *projector) spec(sp *lotos.Spec) *lotos.Spec {
+	return &lotos.Spec{Root: pr.block(sp.Root)}
+}
+
+func (pr *projector) block(blk *lotos.DefBlock) *lotos.DefBlock {
+	out := &lotos.DefBlock{Expr: pr.tp(blk.Expr)}
+	for _, pd := range blk.Procs {
+		out.Procs = append(out.Procs, &lotos.ProcDef{
+			ID:   pd.ID,
+			Name: pd.Name,
+			Body: pr.block(pd.Body),
+		})
+	}
+	return out
+}
+
+// tp is the projection T_p in "normal" context (everywhere except directly
+// below a disabling operator, where tpDisabling applies — rules 9.2-9.4).
+func (pr *projector) tp(e lotos.Expr) lotos.Expr {
+	switch x := e.(type) {
+	case *lotos.Exit, *lotos.Empty:
+		// A bare termination involves no place: nothing to execute locally;
+		// Empty is the neutral element (it prints and behaves as exit).
+		return lotos.Emp()
+
+	case *lotos.Stop:
+		return lotos.Halt()
+
+	case *lotos.Prefix:
+		return pr.tpPrefix(x, false)
+
+	case *lotos.Choice:
+		// Rule 14: ( T_p(L) >> Alternative_p(L,R) ) [] ( T_p(R) >> Alternative_p(R,L) ).
+		return lotos.Ch(
+			pr.chain(pr.tp(x.L), pr.alternative(x.L, x.R)),
+			pr.chain(pr.tp(x.R), pr.alternative(x.R, x.L)),
+		)
+
+	case *lotos.Parallel:
+		// Rules 11-13: parallel composition requires no synchronization
+		// messages; the gate set is projected onto the local events.
+		return pr.tpParallel(x)
+
+	case *lotos.Enable:
+		// Rule 7: T_p(L) >> Synch_Left_p(L,R) >> Synch_Right_p(L,R) >> T_p(R).
+		return pr.chain(
+			pr.tp(x.L),
+			pr.synchLeft(x.L, x.R),
+			pr.synchRight(x.L, x.R),
+			pr.tp(x.R),
+		)
+
+	case *lotos.Disable:
+		// Rule 9.1: (( T_p(L) >> Rel_p(L) )) [> ( T_p(Mc) ).
+		return lotos.Dis(
+			pr.chain(pr.tp(x.L), pr.rel(x.L)),
+			pr.tpDisabling(x.R),
+		)
+
+	case *lotos.ProcRef:
+		// Rule 18: ( Proc_Synch_p(Proc_Id) >> Proc_Id ).
+		call := lotos.Call(x.Name)
+		call.SetID(x.ID())
+		return pr.chain(pr.procSynch(x), call)
+	}
+	// Rule 19 "(e)" has no explicit AST node: grouping is structural.
+	return lotos.Emp()
+}
+
+// tpPrefix implements rules 16, 17 and 9.4.
+//
+// Rule 17 ("Event_Id ; exit"): the local place keeps the event; all other
+// places derive the neutral termination — no synchronization is generated
+// for the final action of a sequence.
+//
+// Rule 16 ("Event_Id ; Seq"): the event is followed by the Synch_Left /
+// Synch_Right message exchange that hands control from the event's place to
+// the starting places of the continuation.
+//
+// Rule 9.4 (inDisabling): additionally, the first event of a disabling
+// alternative broadcasts the interruption to every place not otherwise
+// notified (function Interr, Section 3.3).
+func (pr *projector) tpPrefix(x *lotos.Prefix, inDisabling bool) lotos.Expr {
+	contIsExit := isTermination(x.Cont)
+	var rest lotos.Expr
+	if contIsExit && !inDisabling {
+		// Rule 17: Proj_p(Event) "; exit".
+		if pr.place == x.Ev.Place {
+			return lotos.Pfx(x.Ev, lotos.X())
+		}
+		return lotos.Emp()
+	}
+	if inDisabling && pr.interrupt == InterruptHandshake {
+		return pr.tpPrefixHandshake(x)
+	}
+	parts := []lotos.Expr{}
+	if inDisabling {
+		parts = append(parts, pr.interr(x))
+	}
+	parts = append(parts,
+		pr.synchLeftEvent(x),
+		pr.synchRightEvent(x),
+		pr.tp(x.Cont),
+	)
+	rest = pr.chain(parts...)
+	if pr.place == x.Ev.Place {
+		return prefixOnto(x.Ev, rest)
+	}
+	return rest
+}
+
+// tpPrefixHandshake derives the first event of a disabling alternative in
+// the handshake mode (Section 3.3, "alternative implementation"): the
+// interrupter's entity first broadcasts the request, collects all
+// acknowledgments, and only then executes the disabling event; every other
+// entity's disabling part starts with the request receive, stops the
+// normal part, acknowledges, and continues with its share of the
+// continuation.
+func (pr *projector) tpPrefixHandshake(x *lotos.Prefix) lotos.Expr {
+	contIsExit := isTermination(x.Cont)
+	var after lotos.Expr
+	if contIsExit {
+		after = lotos.Emp()
+	} else {
+		after = pr.chain(
+			pr.synchLeftEvent(x),
+			pr.synchRightEvent(x),
+			pr.tp(x.Cont),
+		)
+	}
+	if pr.place == x.Ev.Place {
+		rest := after
+		if lotos.IsEmpty(rest) {
+			rest = lotos.X()
+		}
+		return pr.chain(
+			pr.interrReq(x),
+			pr.interrAck(x),
+			prefixOnto(x.Ev, rest),
+		)
+	}
+	return pr.chain(
+		pr.interrReq(x),
+		pr.interrAck(x),
+		after,
+	)
+}
+
+// prefixOnto builds "ev ; ( rest )", collapsing a neutral rest to exit.
+func prefixOnto(ev lotos.Event, rest lotos.Expr) lotos.Expr {
+	if lotos.IsEmpty(rest) {
+		return lotos.Pfx(ev, lotos.X())
+	}
+	return lotos.Pfx(ev, rest)
+}
+
+// tpDisabling projects the right-hand side of "[>", which the action-prefix
+// transformation guarantees to be a choice of prefixes (rules 9.2-9.4).
+func (pr *projector) tpDisabling(e lotos.Expr) lotos.Expr {
+	switch x := e.(type) {
+	case *lotos.Choice:
+		// Rule 9.2 mirrors rule 14, with the alternatives in
+		// disabling context.
+		return lotos.Ch(
+			pr.chain(pr.tpDisabling(x.L), pr.alternative(x.L, x.R)),
+			pr.chain(pr.tpDisabling(x.R), pr.alternative(x.R, x.L)),
+		)
+	case *lotos.Prefix:
+		return pr.tpPrefix(x, true)
+	default:
+		// Unreachable on validated input; project conservatively.
+		return pr.tp(e)
+	}
+}
+
+// tpParallel implements rules 11-13: the structure is preserved and the
+// synchronization set is restricted to the local events (function select_p).
+func (pr *projector) tpParallel(x *lotos.Parallel) lotos.Expr {
+	l := pr.tp(x.L)
+	r := pr.tp(x.R)
+	switch x.Kind {
+	case lotos.ParInterleave:
+		return lotos.Ill(l, r)
+	case lotos.ParFull:
+		// "||" synchronizes on all events of the expression; the projection
+		// synchronizes on all local events of the two sides.
+		return pr.gatesOrInterleave(l, r, pr.selectLocal(allGates(x)))
+	default:
+		return pr.gatesOrInterleave(l, r, pr.selectLocal(x.Sync))
+	}
+}
+
+// gatesOrInterleave builds "l |[gates]| r", degrading to "|||" when the
+// projected gate set is empty (law P5: B1 |[]| B2 = B1 ||| B2).
+func (pr *projector) gatesOrInterleave(l, r lotos.Expr, gates []string) lotos.Expr {
+	if len(gates) == 0 {
+		return lotos.Ill(l, r)
+	}
+	return lotos.Gates(l, gates, r)
+}
+
+// selectLocal is the function select_p of Table 4: the subset of gate
+// identifiers whose place is p.
+func (pr *projector) selectLocal(gates []string) []string {
+	var out []string
+	for _, g := range gates {
+		ev, err := lotos.ParseEventID(g)
+		if err == nil && ev.Place == pr.place {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// allGates collects the raw identifiers of every service event below e,
+// deduplicated in first-occurrence order (the event set of "||").
+func allGates(e lotos.Expr) []string {
+	seen := map[string]bool{}
+	var out []string
+	lotos.Walk(e, func(n lotos.Expr) {
+		if pfx, ok := n.(*lotos.Prefix); ok && pfx.Ev.Kind == lotos.EvService {
+			id := pfx.Ev.RawID()
+			if !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
+	})
+	return out
+}
+
+// isTermination reports whether the continuation is "exit" (rule 17).
+func isTermination(e lotos.Expr) bool {
+	switch e.(type) {
+	case *lotos.Exit, *lotos.Empty:
+		return true
+	}
+	return false
+}
+
+// chain folds the parts into a right-nested ">>" chain. Unless raw output
+// was requested, empty parts are dropped (rules "empty >> e = e" and
+// "e >> empty = e"); an all-empty chain is Empty.
+func (pr *projector) chain(parts ...lotos.Expr) lotos.Expr {
+	var kept []lotos.Expr
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		if lotos.IsEmpty(p) && !pr.raw {
+			continue
+		}
+		kept = append(kept, p)
+	}
+	if len(kept) == 0 {
+		return lotos.Emp()
+	}
+	out := kept[len(kept)-1]
+	for i := len(kept) - 2; i >= 0; i-- {
+		out = lotos.Enb(kept[i], out)
+	}
+	return out
+}

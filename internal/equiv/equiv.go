@@ -1,0 +1,366 @@
+// Package equiv implements the behavioural equivalences the paper's
+// correctness argument (Section 5) is stated in: weak bisimulation
+// (observational equivalence), the root condition that strengthens it to
+// observation congruence, strong bisimulation (used to validate the
+// algebraic laws of Annex A), and bounded weak-trace equivalence as the
+// fallback for state spaces that cannot be explored to closure.
+//
+// All checks operate on the finite (possibly truncated) transition graphs
+// produced by internal/lts.
+package equiv
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/lts"
+)
+
+// epsKey is the pseudo-label used for weak internal moves in saturated
+// graphs. It cannot collide with lts label keys ("\x01i"/"\x01d"/gates).
+const epsKey = "\x02eps"
+
+// saturated holds the weak transition relation of one graph:
+// weak[s][label] = sorted set of states reachable via i* label i*
+// (for observable labels), plus weak[s][epsKey] = i* closure (including s).
+type saturated struct {
+	n    int
+	weak []map[string][]int
+}
+
+// saturate computes the weak transition relation of g.
+func saturate(g *lts.Graph) *saturated {
+	n := g.NumStates()
+	closure := make([][]int, n)
+	for s := 0; s < n; s++ {
+		closure[s] = epsClosure(g, s)
+	}
+	sat := &saturated{n: n, weak: make([]map[string][]int, n)}
+	for s := 0; s < n; s++ {
+		m := map[string][]int{}
+		m[epsKey] = closure[s]
+		// i* a i*: from every state in closure(s), take an observable edge,
+		// then close again.
+		for _, mid := range closure[s] {
+			for _, e := range g.Edges[mid] {
+				if !e.Label.Observable() {
+					continue
+				}
+				key := e.Label.Key()
+				m[key] = append(m[key], closure[e.To]...)
+			}
+		}
+		for k := range m {
+			m[k] = dedup(m[k])
+		}
+		sat.weak[s] = m
+	}
+	return sat
+}
+
+func epsClosure(g *lts.Graph, s int) []int {
+	visited := map[int]bool{s: true}
+	stack := []int{s}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.Edges[cur] {
+			if e.Label.Kind == lts.LInternal && !visited[e.To] {
+				visited[e.To] = true
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	out := make([]int, 0, len(visited))
+	for st := range visited {
+		out = append(out, st)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func dedup(xs []int) []int {
+	if len(xs) == 0 {
+		return xs
+	}
+	sort.Ints(xs)
+	out := xs[:1]
+	for _, x := range xs[1:] {
+		if x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// WeakBisimilar reports whether the initial states of g1 and g2 are weakly
+// bisimilar (observationally equivalent, "≈" without the congruence root
+// condition). Successful termination δ is treated as observable, as in
+// LOTOS. The graphs must be fully explored; calling this on truncated
+// graphs gives an answer for the truncated systems only.
+func WeakBisimilar(g1, g2 *lts.Graph) bool {
+	p := weakPartition(g1, g2)
+	return p.sameBlock(0, g1.NumStates())
+}
+
+// weakPartition runs partition refinement over the disjoint union of the
+// two graphs, with signatures built from the saturated weak transitions.
+// The result assigns every state a block; weakly bisimilar states share a
+// block.
+func weakPartition(g1, g2 *lts.Graph) *partition {
+	s1 := saturate(g1)
+	s2 := saturate(g2)
+	n := s1.n + s2.n
+	// weakAt returns the weak transition map of combined state s.
+	weakAt := func(s int) map[string][]int {
+		if s < s1.n {
+			return s1.weak[s]
+		}
+		return shift(s2.weak[s-s1.n], s1.n)
+	}
+	// Pre-shift the second graph's maps once for speed.
+	shifted := make([]map[string][]int, s2.n)
+	for i := range shifted {
+		shifted[i] = shift(s2.weak[i], s1.n)
+	}
+	weakAt = func(s int) map[string][]int {
+		if s < s1.n {
+			return s1.weak[s]
+		}
+		return shifted[s-s1.n]
+	}
+
+	p := newPartition(n)
+	for {
+		changed := p.refine(weakAt)
+		if !changed {
+			return p
+		}
+	}
+}
+
+func shift(m map[string][]int, off int) map[string][]int {
+	out := make(map[string][]int, len(m))
+	for k, v := range m {
+		sv := make([]int, len(v))
+		for i, x := range v {
+			sv[i] = x + off
+		}
+		out[k] = sv
+	}
+	return out
+}
+
+// partition tracks block membership during refinement.
+type partition struct {
+	block []int
+}
+
+func newPartition(n int) *partition {
+	return &partition{block: make([]int, n)}
+}
+
+func (p *partition) sameBlock(a, b int) bool { return p.block[a] == p.block[b] }
+
+// refine splits blocks by transition signature; it returns whether any
+// block split.
+func (p *partition) refine(weakAt func(int) map[string][]int) bool {
+	sigs := make([]string, len(p.block))
+	for s := range p.block {
+		sigs[s] = p.signature(s, weakAt(s))
+	}
+	next := map[string]int{}
+	newBlock := make([]int, len(p.block))
+	for s := range p.block {
+		key := sigs[s]
+		id, ok := next[key]
+		if !ok {
+			id = len(next)
+			next[key] = id
+		}
+		newBlock[s] = id
+	}
+	changed := false
+	for s := range p.block {
+		if newBlock[s] != p.block[s] {
+			changed = true
+		}
+	}
+	copy(p.block, newBlock)
+	return changed
+}
+
+// signature renders the current block plus the set of (label, targetBlock)
+// pairs reachable by weak moves.
+func (p *partition) signature(s int, weak map[string][]int) string {
+	var parts []string
+	parts = append(parts, "b"+itoa(p.block[s]))
+	keys := make([]string, 0, len(weak))
+	for k := range weak {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		blocks := map[int]bool{}
+		for _, t := range weak[k] {
+			blocks[p.block[t]] = true
+		}
+		bs := make([]int, 0, len(blocks))
+		for b := range blocks {
+			bs = append(bs, b)
+		}
+		sort.Ints(bs)
+		var sb strings.Builder
+		sb.WriteString(k)
+		sb.WriteString("->")
+		for _, b := range bs {
+			sb.WriteString(itoa(b))
+			sb.WriteByte(',')
+		}
+		parts = append(parts, sb.String())
+	}
+	return strings.Join(parts, ";")
+}
+
+func itoa(x int) string {
+	var buf [12]byte
+	i := len(buf)
+	if x == 0 {
+		return "0"
+	}
+	for x > 0 {
+		i--
+		buf[i] = byte('0' + x%10)
+		x /= 10
+	}
+	return string(buf[i:])
+}
+
+// ObservationCongruent reports whether the initial states of g1 and g2 are
+// observation congruent ("≈" of the paper, written B1 = B2 in Annex A):
+// weakly bisimilar AND every initial internal move of one side is matched by
+// at least one internal move (i then i*) of the other into a weakly
+// bisimilar state. The root condition distinguishes e.g. "B" from "i; B".
+func ObservationCongruent(g1, g2 *lts.Graph) bool {
+	p := weakPartition(g1, g2)
+	off := g1.NumStates()
+	if !p.sameBlock(0, off) {
+		return false
+	}
+	return rootCondition(g1, g2, p, off, false) && rootCondition(g2, g1, p, off, true)
+}
+
+// rootCondition checks that every initial i-move of a is matched in b by a
+// strict weak i-move (at least one internal step). When swapped is true, a
+// is the second graph (its states are offset in the partition).
+func rootCondition(a, b *lts.Graph, p *partition, off int, swapped bool) bool {
+	aIdx := func(s int) int {
+		if swapped {
+			return s + off
+		}
+		return s
+	}
+	bIdx := func(s int) int {
+		if swapped {
+			return s
+		}
+		return s + off
+	}
+	// Strict weak internal successors of b's root: one i step then i*.
+	var bTargets []int
+	for _, e := range b.Edges[0] {
+		if e.Label.Kind == lts.LInternal {
+			bTargets = append(bTargets, epsClosure(b, e.To)...)
+		}
+	}
+	bTargets = dedup(bTargets)
+	for _, e := range a.Edges[0] {
+		if e.Label.Kind != lts.LInternal {
+			continue
+		}
+		matched := false
+		for _, t := range bTargets {
+			if p.sameBlock(aIdx(e.To), bIdx(t)) {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return false
+		}
+	}
+	return true
+}
+
+// StrongBisimilar reports whether the initial states of g1 and g2 are
+// strongly bisimilar (every action, including i, matched one-for-one).
+func StrongBisimilar(g1, g2 *lts.Graph) bool {
+	n1 := g1.NumStates()
+	strongAt := func(s int) map[string][]int {
+		var g *lts.Graph
+		off := 0
+		if s < n1 {
+			g = g1
+		} else {
+			g = g2
+			off = n1
+			s -= n1
+		}
+		m := map[string][]int{}
+		for _, e := range g.Edges[s] {
+			key := e.Label.Key()
+			m[key] = append(m[key], e.To+off)
+		}
+		for k := range m {
+			m[k] = dedup(m[k])
+		}
+		return m
+	}
+	p := newPartition(n1 + g2.NumStates())
+	for p.refine(strongAt) {
+	}
+	return p.sameBlock(0, n1)
+}
+
+// WeakTraceEquivalent reports whether g1 and g2 have the same weak traces up
+// to the given length. It is sound for truncated graphs only as a bounded
+// check: traces longer than the exploration depth are not compared.
+func WeakTraceEquivalent(g1, g2 *lts.Graph, maxLen int) bool {
+	t1 := lts.WeakTraces(g1, maxLen)
+	t2 := lts.WeakTraces(g2, maxLen)
+	if len(t1) != len(t2) {
+		return false
+	}
+	for i := range t1 {
+		if t1[i] != t2[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TraceDiff returns example traces present in exactly one of the two
+// graphs, up to maxLen and at most limit entries per side, for diagnostics.
+func TraceDiff(g1, g2 *lts.Graph, maxLen, limit int) (onlyG1, onlyG2 []string) {
+	t1 := lts.WeakTraces(g1, maxLen)
+	t2 := lts.WeakTraces(g2, maxLen)
+	set1 := map[string]bool{}
+	for _, t := range t1 {
+		set1[t] = true
+	}
+	set2 := map[string]bool{}
+	for _, t := range t2 {
+		set2[t] = true
+	}
+	for _, t := range t1 {
+		if !set2[t] && len(onlyG1) < limit {
+			onlyG1 = append(onlyG1, t)
+		}
+	}
+	for _, t := range t2 {
+		if !set1[t] && len(onlyG2) < limit {
+			onlyG2 = append(onlyG2, t)
+		}
+	}
+	return onlyG1, onlyG2
+}

@@ -1,0 +1,156 @@
+package equiv
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/lotos"
+	"repro/internal/lts"
+)
+
+// Randomized validation of the Annex-A algebraic laws: for random behaviour
+// expressions B1, B2, B3, the law's two sides must be weakly bisimilar
+// (congruent where the law is stated as a congruence). This complements the
+// hand-picked law tests with broad structural coverage of the SOS rules.
+
+// genLawExpr builds random guarded expressions (no process references, so
+// every expression is finite-state).
+func genLawExpr(r *rand.Rand, depth int) lotos.Expr {
+	if depth <= 0 {
+		switch r.Intn(3) {
+		case 0:
+			return lotos.X()
+		case 1:
+			return lotos.Halt()
+		default:
+			return lotos.Act(lotos.ServiceEvent(string(rune('a'+r.Intn(3))), 1+r.Intn(3)))
+		}
+	}
+	sub := func() lotos.Expr { return genLawExpr(r, depth-1) }
+	switch r.Intn(7) {
+	case 0:
+		return lotos.Pfx(lotos.ServiceEvent(string(rune('a'+r.Intn(3))), 1+r.Intn(3)), sub())
+	case 1:
+		return lotos.Pfx(lotos.InternalEvent(), sub())
+	case 2:
+		return lotos.Ch(sub(), sub())
+	case 3:
+		return lotos.Ill(sub(), sub())
+	case 4:
+		return lotos.Enb(sub(), sub())
+	case 5:
+		return lotos.Dis(sub(), sub())
+	default:
+		return lotos.Gates(sub(), []string{"a1", "b2"}, sub())
+	}
+}
+
+func graphOfExpr(t *testing.T, e lotos.Expr) *lts.Graph {
+	t.Helper()
+	res, err := lotos.Resolve(&lotos.Spec{Root: &lotos.DefBlock{Expr: e}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := lts.Explore(lts.NewEnv(res), e, lts.Limits{MaxStates: 50000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Truncated {
+		t.Skip("expression too large for exact law checking")
+	}
+	return g
+}
+
+// checkLaw asserts weak bisimilarity of two expression builders over many
+// random operand triples.
+func checkLaw(t *testing.T, name string, lhs, rhs func(a, b, c lotos.Expr) lotos.Expr) {
+	t.Helper()
+	for seed := int64(0); seed < 40; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		a := genLawExpr(r, 1+r.Intn(2))
+		b := genLawExpr(r, 1+r.Intn(2))
+		c := genLawExpr(r, 1+r.Intn(2))
+		l := lhs(lotos.Clone(a), lotos.Clone(b), lotos.Clone(c))
+		rr := rhs(lotos.Clone(a), lotos.Clone(b), lotos.Clone(c))
+		gl := graphOfExpr(t, l)
+		gr := graphOfExpr(t, rr)
+		if !WeakBisimilar(gl, gr) {
+			t.Fatalf("%s violated (seed %d):\n  lhs: %s\n  rhs: %s",
+				name, seed, lotos.Format(l), lotos.Format(rr))
+		}
+	}
+}
+
+func TestLawPropertyChoiceCommutative(t *testing.T) {
+	checkLaw(t, "C1: B1 [] B2 = B2 [] B1",
+		func(a, b, _ lotos.Expr) lotos.Expr { return lotos.Ch(a, b) },
+		func(a, b, _ lotos.Expr) lotos.Expr { return lotos.Ch(b, a) })
+}
+
+func TestLawPropertyChoiceAssociative(t *testing.T) {
+	checkLaw(t, "C2: B1 [] (B2 [] B3) = (B1 [] B2) [] B3",
+		func(a, b, c lotos.Expr) lotos.Expr { return lotos.Ch(a, lotos.Ch(b, c)) },
+		func(a, b, c lotos.Expr) lotos.Expr { return lotos.Ch(lotos.Ch(a, b), c) })
+}
+
+func TestLawPropertyChoiceIdempotent(t *testing.T) {
+	checkLaw(t, "C3: B [] B = B",
+		func(a, _, _ lotos.Expr) lotos.Expr { return lotos.Ch(a, lotos.Clone(a)) },
+		func(a, _, _ lotos.Expr) lotos.Expr { return a })
+}
+
+func TestLawPropertyInterleaveCommutative(t *testing.T) {
+	checkLaw(t, "P1: B1 ||| B2 = B2 ||| B1",
+		func(a, b, _ lotos.Expr) lotos.Expr { return lotos.Ill(a, b) },
+		func(a, b, _ lotos.Expr) lotos.Expr { return lotos.Ill(b, a) })
+}
+
+func TestLawPropertyInterleaveAssociative(t *testing.T) {
+	checkLaw(t, "P2: B1 ||| (B2 ||| B3) = (B1 ||| B2) ||| B3",
+		func(a, b, c lotos.Expr) lotos.Expr { return lotos.Ill(a, lotos.Ill(b, c)) },
+		func(a, b, c lotos.Expr) lotos.Expr { return lotos.Ill(lotos.Ill(a, b), c) })
+}
+
+func TestLawPropertyEnableAssociative(t *testing.T) {
+	checkLaw(t, "E2: (B1 >> B2) >> B3 = B1 >> (B2 >> B3)",
+		func(a, b, c lotos.Expr) lotos.Expr { return lotos.Enb(lotos.Enb(a, b), c) },
+		func(a, b, c lotos.Expr) lotos.Expr { return lotos.Enb(a, lotos.Enb(b, c)) })
+}
+
+func TestLawPropertyDisableAssociative(t *testing.T) {
+	checkLaw(t, "D1: B1 [> (B2 [> B3) = (B1 [> B2) [> B3",
+		func(a, b, c lotos.Expr) lotos.Expr { return lotos.Dis(a, lotos.Dis(b, c)) },
+		func(a, b, c lotos.Expr) lotos.Expr { return lotos.Dis(lotos.Dis(a, b), c) })
+}
+
+func TestLawPropertyDisableAbsorption(t *testing.T) {
+	checkLaw(t, "D2: (B1 [> B2) [] B2 = B1 [> B2",
+		func(a, b, _ lotos.Expr) lotos.Expr { return lotos.Ch(lotos.Dis(a, b), lotos.Clone(b)) },
+		func(a, b, _ lotos.Expr) lotos.Expr { return lotos.Dis(a, b) })
+}
+
+func TestLawPropertyPrefixInternalAbsorbed(t *testing.T) {
+	checkLaw(t, "I1: a; i; B = a; B",
+		func(a, _, _ lotos.Expr) lotos.Expr {
+			return lotos.Pfx(lotos.ServiceEvent("x", 1), lotos.Pfx(lotos.InternalEvent(), a))
+		},
+		func(a, _, _ lotos.Expr) lotos.Expr {
+			return lotos.Pfx(lotos.ServiceEvent("x", 1), a)
+		})
+}
+
+func TestLawPropertyChoiceInternal(t *testing.T) {
+	checkLaw(t, "I2: B [] i; B = i; B",
+		func(a, _, _ lotos.Expr) lotos.Expr {
+			return lotos.Ch(a, lotos.Pfx(lotos.InternalEvent(), lotos.Clone(a)))
+		},
+		func(a, _, _ lotos.Expr) lotos.Expr {
+			return lotos.Pfx(lotos.InternalEvent(), a)
+		})
+}
+
+func TestLawPropertyExitEnable(t *testing.T) {
+	checkLaw(t, "E1: exit >> B = i; B",
+		func(a, _, _ lotos.Expr) lotos.Expr { return lotos.Enb(lotos.X(), a) },
+		func(a, _, _ lotos.Expr) lotos.Expr { return lotos.Pfx(lotos.InternalEvent(), a) })
+}

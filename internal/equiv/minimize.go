@@ -1,0 +1,108 @@
+package equiv
+
+import (
+	"repro/internal/lotos"
+	"repro/internal/lts"
+)
+
+// QuotientWeak builds the quotient of a transition graph under weak
+// bisimilarity: states are merged into their equivalence classes, and the
+// class graph carries one edge per distinct (label, target-class) pair of
+// its members' transitions, with internal moves inside one class collapsed.
+// The result is weakly bisimilar to the input (checked by the tests) and is
+// the canonical minimal-form presentation used when reporting explored
+// behaviours.
+//
+// The initial state's class is state 0 of the quotient.
+func QuotientWeak(g *lts.Graph) *lts.Graph {
+	p := weakPartitionSingle(g)
+
+	// Renumber blocks so the initial state's block is 0, then by first
+	// appearance.
+	blockIndex := map[int]int{}
+	count := 0
+	assign := func(b int) int {
+		if id, ok := blockIndex[b]; ok {
+			return id
+		}
+		id := count
+		blockIndex[b] = id
+		count++
+		return id
+	}
+	assign(p.block[0])
+	for s := range p.block {
+		assign(p.block[s])
+	}
+
+	n := count
+	q := &lts.Graph{
+		States:   make([]lotos.Expr, n),
+		Keys:     make([]string, n),
+		Edges:    make([][]lts.Edge, n),
+		Depth:    make([]int, n),
+		ObsDepth: make([]int, n),
+		Frontier: map[int]bool{},
+	}
+
+	seen := make([]map[string]bool, n)
+	for i := range seen {
+		seen[i] = map[string]bool{}
+	}
+	for s, es := range g.Edges {
+		from := blockIndex[p.block[s]]
+		if q.Keys[from] == "" {
+			q.Keys[from] = g.Keys[s]
+			if s < len(g.States) {
+				q.States[from] = g.States[s]
+			}
+		}
+		for _, e := range es {
+			to := blockIndex[p.block[e.To]]
+			if e.Label.Kind == lts.LInternal && to == from {
+				continue // internal move within one class: collapsed
+			}
+			key := e.Label.Key() + ">" + itoa(to)
+			if seen[from][key] {
+				continue
+			}
+			seen[from][key] = true
+			q.Edges[from] = append(q.Edges[from], lts.Edge{Label: e.Label, To: to})
+		}
+		if g.Frontier[s] {
+			q.Frontier[from] = true
+		}
+	}
+	// Keys of blocks containing only terminal states were not set above.
+	for s := range g.Keys {
+		from := blockIndex[p.block[s]]
+		if q.Keys[from] == "" {
+			q.Keys[from] = g.Keys[s]
+			if s < len(g.States) {
+				q.States[from] = g.States[s]
+			}
+		}
+	}
+	q.Truncated = g.Truncated
+	return q
+}
+
+// weakPartitionSingle refines one graph under weak bisimilarity.
+func weakPartitionSingle(g *lts.Graph) *partition {
+	sat := saturate(g)
+	p := newPartition(g.NumStates())
+	weakAt := func(s int) map[string][]int { return sat.weak[s] }
+	for p.refine(weakAt) {
+	}
+	return p
+}
+
+// NumClassesWeak returns the number of weak-bisimilarity classes of g.
+func NumClassesWeak(g *lts.Graph) int {
+	p := weakPartitionSingle(g)
+	set := map[int]bool{}
+	for _, b := range p.block {
+		set[b] = true
+	}
+	return len(set)
+}

@@ -1,0 +1,66 @@
+package equiv
+
+import (
+	"testing"
+)
+
+func TestQuotientCollapsesInternalRuns(t *testing.T) {
+	// exit >> exit >> a1; exit ≈ a1; exit: the internal steps collapse.
+	g := graphOf(t, "exit >> (exit >> a1; exit)")
+	q := QuotientWeak(g)
+	if q.NumStates() >= g.NumStates() {
+		t.Errorf("quotient %d states, original %d", q.NumStates(), g.NumStates())
+	}
+	if !WeakBisimilar(g, q) {
+		t.Error("quotient not weakly bisimilar to original")
+	}
+	ref := graphOf(t, "a1; exit")
+	if !WeakBisimilar(q, ref) {
+		t.Error("quotient not bisimilar to the reduced reference")
+	}
+}
+
+func TestQuotientIdempotent(t *testing.T) {
+	g := graphOf(t, "a1; exit [] b1; c2; exit")
+	q1 := QuotientWeak(g)
+	q2 := QuotientWeak(q1)
+	if q1.NumStates() != q2.NumStates() {
+		t.Errorf("quotient not idempotent: %d then %d", q1.NumStates(), q2.NumStates())
+	}
+}
+
+func TestQuotientPreservesBranching(t *testing.T) {
+	// Internal choice must not collapse into external choice.
+	g := graphOf(t, "i; a1; exit [] i; b1; exit")
+	q := QuotientWeak(g)
+	if !WeakBisimilar(g, q) {
+		t.Error("quotient changed behaviour")
+	}
+	ext := graphOf(t, "a1; exit [] b1; exit")
+	if WeakBisimilar(q, ext) {
+		t.Error("quotient collapsed internal choice into external choice")
+	}
+}
+
+func TestQuotientOfDiamond(t *testing.T) {
+	// a ||| b has diamond shape; duplicate interleavings share classes with
+	// nothing to merge (all states distinct), so the quotient is the same
+	// size — and still bisimilar.
+	g := graphOf(t, "a1; exit ||| b2; exit")
+	q := QuotientWeak(g)
+	if !WeakBisimilar(g, q) {
+		t.Error("quotient changed behaviour")
+	}
+}
+
+func TestNumClassesWeak(t *testing.T) {
+	g := graphOf(t, "exit >> (exit >> a1; exit)")
+	classes := NumClassesWeak(g)
+	if classes >= g.NumStates() {
+		t.Errorf("classes %d, states %d", classes, g.NumStates())
+	}
+	q := QuotientWeak(g)
+	if q.NumStates() != classes {
+		t.Errorf("quotient states %d != classes %d", q.NumStates(), classes)
+	}
+}

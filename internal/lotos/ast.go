@@ -1,0 +1,286 @@
+package lotos
+
+// This file defines the abstract syntax tree of the specification language,
+// following the grammar of Table 1 (with the disabling extension rules 9.1-9.4)
+// of the paper. A single AST serves both levels of abstraction: service
+// specifications (events are service primitives) and derived protocol entity
+// specifications (events additionally include send/receive interactions).
+//
+// Every expression node carries a mutable node number, assigned by the
+// attribute-evaluation phase in preorder (attribute N of Section 4.1); the
+// number identifies synchronization messages generated for that node.
+
+// Expr is a behaviour expression of the specification language.
+//
+// Concrete types: *Stop, *Exit, *Empty, *Prefix, *Choice, *Parallel,
+// *Enable, *Disable, *ProcRef and *Hide.
+type Expr interface {
+	// ID returns the syntax-tree node number N(x) assigned by numbering
+	// (0 before numbering has run).
+	ID() int
+	// SetID assigns the node number. It is exported so that analysis
+	// passes outside this package can number trees they construct.
+	SetID(int)
+	isExpr()
+}
+
+// base carries the node number shared by all expression nodes.
+type base struct{ id int }
+
+// ID returns the assigned node number.
+func (b *base) ID() int { return b.id }
+
+// SetID assigns the node number.
+func (b *base) SetID(i int) { b.id = i }
+
+func (b *base) isExpr() {}
+
+// Stop is inaction: a process that offers nothing. It is not part of the
+// paper's service grammar but arises as the terminal state of the
+// operational semantics and is accepted by the parser for convenience.
+type Stop struct{ base }
+
+// Exit is the successful termination of a sequence of actions (rule 17).
+type Exit struct{ base }
+
+// Empty is the derivation-time neutral element "empty" of Section 4.2:
+// no actions are generated at this position. It is eliminated by
+// Simplify using the rewrite rules "empty;e = e", "empty>>e = e",
+// "e>>empty = e" and "e|||empty = e"; any residual Empty is semantically a
+// successful termination and prints (and executes) as exit.
+type Empty struct{ base }
+
+// Prefix is the action-prefix expression "Event_Id ; Cont" (rules 16/17).
+// Rule 17 ("Event_Id ; exit") is represented with Cont = *Exit.
+type Prefix struct {
+	base
+	Ev   Event
+	Cont Expr
+}
+
+// Choice is the alternative expression "L [] R" (rules 14 and 9.2).
+type Choice struct {
+	base
+	L, R Expr
+}
+
+// ParKind distinguishes the three concrete forms of the parallel operator.
+type ParKind uint8
+
+const (
+	// ParInterleave is "|||": independent parallelism, no synchronization
+	// (rule 12).
+	ParInterleave ParKind = iota
+	// ParGates is "|[event_subset]|": synchronization on the listed gates
+	// (rule 11).
+	ParGates
+	// ParFull is "||": synchronization on all events.
+	ParFull
+)
+
+// Parallel is the parallel composition "L |[Sync]| R" (rules 11-12). For
+// ParGates, Sync lists the raw event identifiers (e.g. "a2") on which the
+// two sides must synchronize. Successful termination always synchronizes.
+type Parallel struct {
+	base
+	L, R Expr
+	Kind ParKind
+	Sync []string
+}
+
+// SyncsOn reports whether an event with the given raw identifier (and gate,
+// for message events) must be executed in synchronization by both sides.
+func (p *Parallel) SyncsOn(ev Event) bool {
+	switch p.Kind {
+	case ParInterleave:
+		return false
+	case ParFull:
+		return ev.Kind != EvInternal
+	default:
+		id := ev.RawID()
+		if id == "" {
+			return false
+		}
+		for _, g := range p.Sync {
+			if g == id {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// Enable is the sequential composition "L >> R" (rule 7): if L terminates
+// successfully, execution of R is enabled.
+type Enable struct {
+	base
+	L, R Expr
+}
+
+// Disable is the disabling expression "L [> R" (rule 9.1): R's first action
+// may interrupt L at any time before L terminates successfully.
+type Disable struct {
+	base
+	L, R Expr
+}
+
+// ProcRef is a process instantiation (rule 18). Occ records the occurrence
+// number of the enclosing process instance; it is stamped during unfolding
+// so that the new instance created by this call site receives the unique
+// occurrence Occ + "/" + N(call site) (Section 3.5). An empty Occ denotes
+// the root occurrence OccRoot.
+type ProcRef struct {
+	base
+	Name string
+	Occ  string
+	// Def is the process definition this reference binds to. It is set by
+	// Resolve and preserved by Clone, so instantiated copies of process
+	// bodies remain resolved.
+	Def *ProcDef
+}
+
+// Hide is the LOTOS hiding operator "hide Gates in Body". It is not part of
+// the service-specification language (the paper excludes hiding there), but
+// it is required to state and check the correctness relation of Section 5:
+//
+//	S ≈ hide G in ((PE_1 ||| ... ||| PE_n) |[G]| Medium)
+//
+// Gates are raw event identifiers; message events may also be hidden with
+// the wildcard gates "s*" and "r*" (all sends / all receives).
+type Hide struct {
+	base
+	Gates []string
+	Body  Expr
+}
+
+// Hidden reports whether the event is hidden by this node's gate set.
+func (h *Hide) Hidden(ev Event) bool {
+	for _, g := range h.Gates {
+		switch g {
+		case "s*":
+			if ev.Kind == EvSend {
+				return true
+			}
+		case "r*":
+			if ev.Kind == EvRecv {
+				return true
+			}
+		case "msg*":
+			if ev.IsMessage() {
+				return true
+			}
+		default:
+			if id := ev.RawID(); id != "" && id == g {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ProcDef is a process definition "PROC Name = Body END" (rule 6). Its body
+// is a definition block, so process definitions nest lexically.
+type ProcDef struct {
+	ID   int // node number of the definition (informational)
+	Name string
+	Body *DefBlock
+}
+
+// DefBlock is a definition block "e [WHERE Process_block]" (rules 2-5):
+// a behaviour expression together with the process definitions visible
+// within it.
+type DefBlock struct {
+	Expr  Expr
+	Procs []*ProcDef
+}
+
+// Spec is a complete specification "SPEC Def_block ENDSPEC" (rule 1).
+type Spec struct {
+	Root *DefBlock
+}
+
+// --- construction helpers -------------------------------------------------
+//
+// The derivation algorithm builds protocol entity trees programmatically;
+// these helpers keep that code close to the paper's notation.
+
+// Pfx builds "ev ; cont".
+func Pfx(ev Event, cont Expr) *Prefix { return &Prefix{Ev: ev, Cont: cont} }
+
+// Act builds "ev ; exit".
+func Act(ev Event) *Prefix { return &Prefix{Ev: ev, Cont: &Exit{}} }
+
+// Ch builds "l [] r".
+func Ch(l, r Expr) *Choice { return &Choice{L: l, R: r} }
+
+// Ill builds "l ||| r" (independent parallelism).
+func Ill(l, r Expr) *Parallel { return &Parallel{L: l, R: r, Kind: ParInterleave} }
+
+// Full builds "l || r" (fully synchronized parallelism).
+func Full(l, r Expr) *Parallel { return &Parallel{L: l, R: r, Kind: ParFull} }
+
+// Gates builds "l |[sync]| r".
+func Gates(l Expr, sync []string, r Expr) *Parallel {
+	return &Parallel{L: l, R: r, Kind: ParGates, Sync: sync}
+}
+
+// Enb builds "l >> r".
+func Enb(l, r Expr) *Enable { return &Enable{L: l, R: r} }
+
+// Dis builds "l [> r".
+func Dis(l, r Expr) *Disable { return &Disable{L: l, R: r} }
+
+// Call builds a process instantiation.
+func Call(name string) *ProcRef { return &ProcRef{Name: name} }
+
+// X builds "exit".
+func X() *Exit { return &Exit{} }
+
+// Halt builds "stop".
+func Halt() *Stop { return &Stop{} }
+
+// Emp builds the derivation-time "empty".
+func Emp() *Empty { return &Empty{} }
+
+// HideIn builds "hide gates in body".
+func HideIn(gates []string, body Expr) *Hide { return &Hide{Gates: gates, Body: body} }
+
+// IsEmpty reports whether e is the derivation-time Empty node.
+func IsEmpty(e Expr) bool {
+	_, ok := e.(*Empty)
+	return ok
+}
+
+// SeqChain builds "evs[0] ; evs[1] ; ... ; exit".
+func SeqChain(evs ...Event) Expr {
+	var cont Expr = &Exit{}
+	for i := len(evs) - 1; i >= 0; i-- {
+		cont = Pfx(evs[i], cont)
+	}
+	return cont
+}
+
+// ChoiceOf folds a non-empty list of expressions into a right-nested choice.
+func ChoiceOf(alts ...Expr) Expr {
+	if len(alts) == 0 {
+		return Emp()
+	}
+	out := alts[len(alts)-1]
+	for i := len(alts) - 2; i >= 0; i-- {
+		out = Ch(alts[i], out)
+	}
+	return out
+}
+
+// InterleaveOf folds a non-empty list of expressions into a right-nested
+// independent parallel composition; an empty list yields Empty.
+func InterleaveOf(parts ...Expr) Expr {
+	if len(parts) == 0 {
+		return Emp()
+	}
+	out := parts[len(parts)-1]
+	for i := len(parts) - 2; i >= 0; i-- {
+		out = Ill(parts[i], out)
+	}
+	return out
+}

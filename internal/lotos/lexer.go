@@ -1,0 +1,323 @@
+package lotos
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates lexical token kinds of the specification language.
+type tokKind uint8
+
+const (
+	tEOF          tokKind = iota
+	tIdent                // lowercase-initial identifier (event identifiers, "i", "exit", ...)
+	tProcIdent            // uppercase-initial identifier (process identifiers)
+	tNumber               // decimal integer literal
+	tOcc                  // occurrence literal "#0/5/7"
+	tSpec                 // SPEC
+	tEndSpec              // ENDSPEC
+	tProc                 // PROC
+	tEnd                  // END
+	tWhere                // WHERE
+	tExit                 // exit
+	tStop                 // stop
+	tHide                 // hide
+	tIn                   // in
+	tSemi                 // ;
+	tComma                // ,
+	tLParen               // (
+	tRParen               // )
+	tEquals               // =
+	tEnableOp             // >>
+	tDisableOp            // [>
+	tChoiceOp             // []
+	tInterleaveOp         // |||
+	tFullParOp            // ||
+	tLGate                // |[
+	tRGate                // ]|
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tEOF:
+		return "end of input"
+	case tIdent:
+		return "identifier"
+	case tProcIdent:
+		return "process identifier"
+	case tNumber:
+		return "number"
+	case tOcc:
+		return "occurrence literal"
+	case tSpec:
+		return "SPEC"
+	case tEndSpec:
+		return "ENDSPEC"
+	case tProc:
+		return "PROC"
+	case tEnd:
+		return "END"
+	case tWhere:
+		return "WHERE"
+	case tExit:
+		return "exit"
+	case tStop:
+		return "stop"
+	case tHide:
+		return "hide"
+	case tIn:
+		return "in"
+	case tSemi:
+		return "';'"
+	case tComma:
+		return "','"
+	case tLParen:
+		return "'('"
+	case tRParen:
+		return "')'"
+	case tEquals:
+		return "'='"
+	case tEnableOp:
+		return "'>>'"
+	case tDisableOp:
+		return "'[>'"
+	case tChoiceOp:
+		return "'[]'"
+	case tInterleaveOp:
+		return "'|||'"
+	case tFullParOp:
+		return "'||'"
+	case tLGate:
+		return "'|['"
+	case tRGate:
+		return "']|'"
+	}
+	return fmt.Sprintf("tokKind(%d)", uint8(k))
+}
+
+// token is a lexical token with its source position (1-based line/column).
+type token struct {
+	kind tokKind
+	text string
+	line int
+	col  int
+}
+
+// SyntaxError describes a lexical or syntactic error with source position.
+type SyntaxError struct {
+	Line, Col int
+	Msg       string
+}
+
+// Error implements the error interface.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// lexer turns specification source text into tokens. Comments run from
+// "--" to end of line (LOTOS convention).
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+func (lx *lexer) errf(line, col int, format string, args ...any) *SyntaxError {
+	return &SyntaxError{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (lx *lexer) peekByte() byte {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *lexer) peekByteAt(off int) byte {
+	if lx.pos+off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos+off]
+}
+
+func (lx *lexer) advance() byte {
+	c := lx.src[lx.pos]
+	lx.pos++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *lexer) skipSpaceAndComments() {
+	for lx.pos < len(lx.src) {
+		c := lx.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '-' && lx.peekByteAt(1) == '-':
+			for lx.pos < len(lx.src) && lx.peekByte() != '\n' {
+				lx.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+var keywords = map[string]tokKind{
+	"SPEC":    tSpec,
+	"ENDSPEC": tEndSpec,
+	"PROC":    tProc,
+	"END":     tEnd,
+	"WHERE":   tWhere,
+	"exit":    tExit,
+	"stop":    tStop,
+	"hide":    tHide,
+	"in":      tIn,
+}
+
+// next returns the next token.
+func (lx *lexer) next() (token, error) {
+	lx.skipSpaceAndComments()
+	line, col := lx.line, lx.col
+	if lx.pos >= len(lx.src) {
+		return token{kind: tEOF, line: line, col: col}, nil
+	}
+	c := lx.peekByte()
+	switch {
+	case isIdentStart(c):
+		start := lx.pos
+		for lx.pos < len(lx.src) && isIdentPart(lx.peekByte()) {
+			lx.advance()
+		}
+		text := lx.src[start:lx.pos]
+		if k, ok := keywords[text]; ok {
+			return token{kind: k, text: text, line: line, col: col}, nil
+		}
+		if unicode.IsUpper(rune(text[0])) {
+			return token{kind: tProcIdent, text: text, line: line, col: col}, nil
+		}
+		return token{kind: tIdent, text: text, line: line, col: col}, nil
+
+	case c >= '0' && c <= '9':
+		start := lx.pos
+		for lx.pos < len(lx.src) && lx.peekByte() >= '0' && lx.peekByte() <= '9' {
+			lx.advance()
+		}
+		return token{kind: tNumber, text: lx.src[start:lx.pos], line: line, col: col}, nil
+
+	case c == '#':
+		lx.advance()
+		start := lx.pos
+		for lx.pos < len(lx.src) {
+			b := lx.peekByte()
+			if (b >= '0' && b <= '9') || b == '/' {
+				lx.advance()
+				continue
+			}
+			break
+		}
+		text := lx.src[start:lx.pos]
+		if text == "" || strings.HasSuffix(text, "/") {
+			return token{}, lx.errf(line, col, "malformed occurrence literal after '#'")
+		}
+		return token{kind: tOcc, text: text, line: line, col: col}, nil
+
+	case c == ';':
+		lx.advance()
+		return token{kind: tSemi, line: line, col: col}, nil
+	case c == ',':
+		lx.advance()
+		return token{kind: tComma, line: line, col: col}, nil
+	case c == '(':
+		lx.advance()
+		return token{kind: tLParen, line: line, col: col}, nil
+	case c == ')':
+		lx.advance()
+		return token{kind: tRParen, line: line, col: col}, nil
+	case c == '=':
+		lx.advance()
+		return token{kind: tEquals, line: line, col: col}, nil
+
+	case c == '>':
+		if lx.peekByteAt(1) == '>' {
+			lx.advance()
+			lx.advance()
+			return token{kind: tEnableOp, line: line, col: col}, nil
+		}
+		return token{}, lx.errf(line, col, "unexpected '>' (did you mean '>>'?)")
+
+	case c == '[':
+		switch lx.peekByteAt(1) {
+		case '>':
+			lx.advance()
+			lx.advance()
+			return token{kind: tDisableOp, line: line, col: col}, nil
+		case ']':
+			lx.advance()
+			lx.advance()
+			return token{kind: tChoiceOp, line: line, col: col}, nil
+		}
+		return token{}, lx.errf(line, col, "unexpected '[' (expected '[>' or '[]')")
+
+	case c == ']':
+		if lx.peekByteAt(1) == '|' {
+			lx.advance()
+			lx.advance()
+			return token{kind: tRGate, line: line, col: col}, nil
+		}
+		return token{}, lx.errf(line, col, "unexpected ']' (expected ']|')")
+
+	case c == '|':
+		if lx.peekByteAt(1) == '|' && lx.peekByteAt(2) == '|' {
+			lx.advance()
+			lx.advance()
+			lx.advance()
+			return token{kind: tInterleaveOp, line: line, col: col}, nil
+		}
+		if lx.peekByteAt(1) == '|' {
+			lx.advance()
+			lx.advance()
+			return token{kind: tFullParOp, line: line, col: col}, nil
+		}
+		if lx.peekByteAt(1) == '[' {
+			lx.advance()
+			lx.advance()
+			return token{kind: tLGate, line: line, col: col}, nil
+		}
+		return token{}, lx.errf(line, col, "unexpected '|' (expected '|||', '||' or '|[')")
+	}
+	return token{}, lx.errf(line, col, "unexpected character %q", string(rune(c)))
+}
+
+// lexAll tokenizes the whole source.
+func lexAll(src string) ([]token, error) {
+	lx := newLexer(src)
+	var out []token
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tEOF {
+			return out, nil
+		}
+	}
+}

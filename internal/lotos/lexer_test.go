@@ -1,0 +1,114 @@
+package lotos
+
+import (
+	"strings"
+	"testing"
+)
+
+func kinds(toks []token) []tokKind {
+	out := make([]tokKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.kind
+	}
+	return out
+}
+
+func TestLexBasicTokens(t *testing.T) {
+	toks, err := lexAll("SPEC a1 ; exit [] b2 >> [> ||| || |[ ]| ( ) , = ENDSPEC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []tokKind{
+		tSpec, tIdent, tSemi, tExit, tChoiceOp, tIdent, tEnableOp, tDisableOp,
+		tInterleaveOp, tFullParOp, tLGate, tRGate, tLParen, tRParen, tComma,
+		tEquals, tEndSpec, tEOF,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("token count: got %d want %d (%v)", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexKeywordsVsIdentifiers(t *testing.T) {
+	toks, err := lexAll("PROC Ab = specx WHERE END exit stop hide in")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []tokKind{tProc, tProcIdent, tEquals, tIdent, tWhere, tEnd, tExit, tStop, tHide, tIn, tEOF}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := lexAll("a1 -- this is a comment >> [] \n ; exit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []tokKind{tIdent, tSemi, tExit, tEOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("token kinds %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexOccurrenceLiteral(t *testing.T) {
+	toks, err := lexAll("#0/12/7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].kind != tOcc || toks[0].text != "0/12/7" {
+		t.Fatalf("got %v %q", toks[0].kind, toks[0].text)
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := lexAll("a1;\n  b2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].line != 1 || toks[0].col != 1 {
+		t.Errorf("first token at %d:%d, want 1:1", toks[0].line, toks[0].col)
+	}
+	b2 := toks[2]
+	if b2.line != 2 || b2.col != 3 {
+		t.Errorf("b2 at %d:%d, want 2:3", b2.line, b2.col)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	cases := []string{"a1 } b2", "a >x", "a ]x", "a |x", "#", "#0/"}
+	for _, src := range cases {
+		if _, err := lexAll(src); err == nil {
+			t.Errorf("lexAll(%q): expected error", src)
+		} else if se, ok := err.(*SyntaxError); !ok {
+			t.Errorf("lexAll(%q): error type %T, want *SyntaxError", src, err)
+		} else if se.Error() == "" || !strings.Contains(se.Error(), ":") {
+			t.Errorf("lexAll(%q): malformed error message %q", src, se.Error())
+		}
+	}
+}
+
+func TestTokKindStrings(t *testing.T) {
+	for k := tEOF; k <= tRGate; k++ {
+		if k.String() == "" {
+			t.Errorf("empty String() for kind %d", k)
+		}
+	}
+	if got := tokKind(200).String(); !strings.Contains(got, "200") {
+		t.Errorf("unknown kind string = %q", got)
+	}
+}

@@ -1,0 +1,350 @@
+package lotos
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseEventForms(t *testing.T) {
+	cases := []struct {
+		src  string
+		want Event
+	}{
+		{"read1; exit", ServiceEvent("read", 1)},
+		{"a12; exit", ServiceEvent("a", 12)},
+		{"interrupt3; exit", ServiceEvent("interrupt", 3)},
+		{"i; exit", InternalEvent()},
+		{"s2(7); exit", SendEvent(2, 7)},
+		{"r3(9); exit", RecvEvent(3, 9)},
+		{"s2(s,7); exit", SendEvent(2, 7)},
+		{"s2(x); exit", Event{Kind: EvSend, Place: 2, Node: -1, Tag: "x"}},
+		{"r1(y); exit", Event{Kind: EvRecv, Place: 1, Node: -1, Tag: "y"}},
+		{"s2(#0/5,7); exit", Event{Kind: EvSend, Place: 2, Node: 7, Occ: "0/5"}},
+	}
+	for _, c := range cases {
+		e, err := ParseExpr(c.src)
+		if err != nil {
+			t.Errorf("ParseExpr(%q): %v", c.src, err)
+			continue
+		}
+		p, ok := e.(*Prefix)
+		if !ok {
+			t.Errorf("ParseExpr(%q): got %T, want *Prefix", c.src, e)
+			continue
+		}
+		if p.Ev != c.want {
+			t.Errorf("ParseExpr(%q): event %+v, want %+v", c.src, p.Ev, c.want)
+		}
+	}
+}
+
+func TestParseServicePrimitiveNamedSOrR(t *testing.T) {
+	// "s2" and "r1" without parentheses are service primitives named "s"/"r".
+	e := MustParseExpr("s2; r1; exit")
+	p := e.(*Prefix)
+	if p.Ev != ServiceEvent("s", 2) {
+		t.Errorf("got %+v", p.Ev)
+	}
+	q := p.Cont.(*Prefix)
+	if q.Ev != ServiceEvent("r", 1) {
+		t.Errorf("got %+v", q.Ev)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	// ">>" binds loosest, then "[>", parallel, "[]", prefix.
+	e := MustParseExpr("a1; exit [] b2; exit ||| c3; exit [> d1; exit >> e2; exit")
+	enb, ok := e.(*Enable)
+	if !ok {
+		t.Fatalf("top is %T, want *Enable", e)
+	}
+	dis, ok := enb.L.(*Disable)
+	if !ok {
+		t.Fatalf("enable left is %T, want *Disable", enb.L)
+	}
+	par, ok := dis.L.(*Parallel)
+	if !ok {
+		t.Fatalf("disable left is %T, want *Parallel", dis.L)
+	}
+	if _, ok := par.L.(*Choice); !ok {
+		t.Fatalf("parallel left is %T, want *Choice", par.L)
+	}
+}
+
+func TestParseRightAssociativity(t *testing.T) {
+	e := MustParseExpr("a1; exit [] b1; exit [] c1; exit")
+	ch := e.(*Choice)
+	if _, ok := ch.L.(*Prefix); !ok {
+		t.Errorf("left of [] is %T, want *Prefix (right-assoc)", ch.L)
+	}
+	if _, ok := ch.R.(*Choice); !ok {
+		t.Errorf("right of [] is %T, want *Choice (right-assoc)", ch.R)
+	}
+
+	e = MustParseExpr("a1; exit >> b1; exit >> c1; exit")
+	en := e.(*Enable)
+	if _, ok := en.R.(*Enable); !ok {
+		t.Errorf("right of >> is %T, want *Enable", en.R)
+	}
+}
+
+func TestParseGateSet(t *testing.T) {
+	e := MustParseExpr("a1; exit |[a1,b2]| b2; exit")
+	par := e.(*Parallel)
+	if par.Kind != ParGates {
+		t.Fatalf("kind = %v", par.Kind)
+	}
+	if !sameStrings(par.Sync, []string{"a1", "b2"}) {
+		t.Fatalf("sync = %v", par.Sync)
+	}
+	if !par.SyncsOn(ServiceEvent("a", 1)) || par.SyncsOn(ServiceEvent("c", 3)) {
+		t.Error("SyncsOn wrong")
+	}
+}
+
+func TestParseFullAndInterleave(t *testing.T) {
+	full := MustParseExpr("a1; exit || b2; exit").(*Parallel)
+	if full.Kind != ParFull {
+		t.Errorf("|| kind = %v", full.Kind)
+	}
+	if !full.SyncsOn(ServiceEvent("zz", 9)) {
+		t.Error("|| must sync on every observable event")
+	}
+	if full.SyncsOn(InternalEvent()) {
+		t.Error("|| must not sync on i")
+	}
+	ill := MustParseExpr("a1; exit ||| b2; exit").(*Parallel)
+	if ill.Kind != ParInterleave || ill.SyncsOn(ServiceEvent("a", 1)) {
+		t.Errorf("||| wrong: %+v", ill)
+	}
+}
+
+func TestParseSpecExample2(t *testing.T) {
+	// Example 2 of the paper (places made concrete: i=1, k=2).
+	src := `
+SPEC A WHERE
+  PROC A = (a1; A >> b2; exit) [] (a1; b2; exit) END
+ENDSPEC`
+	sp, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.Root.Procs) != 1 || sp.Root.Procs[0].Name != "A" {
+		t.Fatalf("procs: %+v", sp.Root.Procs)
+	}
+	if _, ok := sp.Root.Expr.(*ProcRef); !ok {
+		t.Fatalf("root expr is %T", sp.Root.Expr)
+	}
+	body := sp.Root.Procs[0].Body.Expr
+	ch, ok := body.(*Choice)
+	if !ok {
+		t.Fatalf("body is %T", body)
+	}
+	if _, ok := ch.L.(*Enable); !ok {
+		t.Fatalf("left alternative is %T, want *Enable", ch.L)
+	}
+}
+
+func TestParseSpecExample3(t *testing.T) {
+	// Example 3: the file-copy service.
+	src := `
+SPEC S [> interrupt3; exit WHERE
+  PROC S = (read1; push2; S >> pop2; write3; exit)
+        [] (eof1; make3; exit)
+  END
+ENDSPEC`
+	sp, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sp.Root.Expr.(*Disable); !ok {
+		t.Fatalf("root is %T, want *Disable", sp.Root.Expr)
+	}
+	places := Places(sp)
+	if len(places) != 3 || places[0] != 1 || places[2] != 3 {
+		t.Fatalf("places = %v", places)
+	}
+	evs := ServiceEvents(sp)
+	var names []string
+	for _, ev := range evs {
+		names = append(names, ev.String())
+	}
+	want := "read1 eof1 push2 pop2 interrupt3 write3 make3"
+	for _, w := range strings.Fields(want) {
+		found := false
+		for _, n := range names {
+			if n == w {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing service event %s in %v", w, names)
+		}
+	}
+}
+
+func TestParseNestedWhere(t *testing.T) {
+	src := `
+SPEC A WHERE
+  PROC A = B WHERE
+    PROC B = a1; exit END
+  END
+ENDSPEC`
+	sp, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Resolve(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Defs) != 2 {
+		t.Fatalf("defs = %d", len(res.Defs))
+	}
+}
+
+func TestParseHide(t *testing.T) {
+	e := MustParseExpr("hide a1,b2 in (a1; b2; exit)")
+	h, ok := e.(*Hide)
+	if !ok {
+		t.Fatalf("got %T", e)
+	}
+	if !h.Hidden(ServiceEvent("a", 1)) || h.Hidden(ServiceEvent("c", 3)) {
+		t.Error("Hidden wrong")
+	}
+}
+
+func TestHideWildcards(t *testing.T) {
+	h := HideIn([]string{"s*", "r*"}, X())
+	if !h.Hidden(SendEvent(2, 1)) || !h.Hidden(RecvEvent(1, 1)) {
+		t.Error("wildcards must hide messages")
+	}
+	if h.Hidden(ServiceEvent("s", 2)) {
+		t.Error("wildcard must not hide service primitive named s")
+	}
+	m := HideIn([]string{"msg*"}, X())
+	if !m.Hidden(SendEvent(1, 1)) || !m.Hidden(RecvEvent(1, 1)) || m.Hidden(ServiceEvent("a", 1)) {
+		t.Error("msg* wildcard wrong")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",                            // nothing
+		"SPEC ENDSPEC",                // no expression
+		"SPEC a1; exit",               // missing ENDSPEC
+		"SPEC a; exit ENDSPEC",        // no place digits
+		"SPEC a1 exit ENDSPEC",        // missing semicolon
+		"SPEC a1; ENDSPEC",            // missing continuation
+		"SPEC (a1; exit ENDSPEC",      // unbalanced paren
+		"SPEC a1; exit WHERE ENDSPEC", // empty WHERE
+		"SPEC A WHERE PROC A a1; exit END ENDSPEC",        // missing '='
+		"SPEC A WHERE PROC A = a1; exit ENDSPEC",          // missing END
+		"SPEC a1; exit [] ENDSPEC",                        // missing right alternative
+		"SPEC s2(; exit ENDSPEC",                          // malformed message
+		"SPEC s2(1,2); exit ENDSPEC",                      // bad payload shape
+		"SPEC a1; exit ENDSPEC trailing",                  // trailing input
+		"SPEC hide in (a1; exit) ENDSPEC ",                // empty hide list is ok? gates may be empty -> accept; use bad gate instead
+		"SPEC hide Zz in (a1; exit) ENDSPEC",              // bad gate identifier
+		"SPEC a1; exit |[a]| b2; exit ENDSPEC",            // gate without place digits
+		"SPEC A WHERE PROC A = a1; exit END PROC ENDSPEC", // dangling PROC
+	}
+	for _, src := range cases {
+		if src == "SPEC hide in (a1; exit) ENDSPEC " {
+			continue // empty gate list is tolerated by the grammar
+		}
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}
+
+func TestResolveErrors(t *testing.T) {
+	undef := MustParse("SPEC A ENDSPEC")
+	if _, err := Resolve(undef); err == nil {
+		t.Error("undefined process must fail resolution")
+	}
+	dup := `
+SPEC A WHERE
+  PROC A = a1; exit END
+  PROC A = b2; exit END
+ENDSPEC`
+	spDup := MustParse(dup)
+	if _, err := Resolve(spDup); err == nil {
+		t.Error("duplicate process must fail resolution")
+	}
+	// Inner definitions are not visible outside their block.
+	scopeErr := `
+SPEC B WHERE
+  PROC A = B WHERE PROC B = a1; exit END END
+ENDSPEC`
+	spScope := MustParse(scopeErr)
+	if _, err := Resolve(spScope); err == nil {
+		t.Error("reference to inner-scoped process from outer block must fail")
+	}
+}
+
+func TestResolveScoping(t *testing.T) {
+	src := `
+SPEC A WHERE
+  PROC A = B WHERE
+    PROC B = A END
+  END
+ENDSPEC`
+	sp := MustParse(src)
+	res, err := Resolve(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The inner reference to A must bind to the outer definition.
+	var innerRef *ProcRef
+	WalkSpec(sp, func(e Expr) {
+		if r, ok := e.(*ProcRef); ok && r.Name == "A" {
+			innerRef = r
+		}
+	})
+	if innerRef == nil || res.Def(innerRef) == nil || res.Def(innerRef).Name != "A" {
+		t.Fatal("inner A not resolved to outer definition")
+	}
+}
+
+func TestNumberPreorder(t *testing.T) {
+	sp := MustParse(`SPEC a1; b2; exit WHERE PROC P = c3; exit END ENDSPEC`)
+	total := Number(sp)
+	// Root expr: Prefix(a1) -> Prefix(b2) -> Exit = 3 nodes,
+	// then PROC P (1), then its body Prefix(c3) -> Exit = 2 nodes.
+	if total != 6 {
+		t.Fatalf("total numbered nodes = %d, want 6", total)
+	}
+	root := sp.Root.Expr.(*Prefix)
+	if root.ID() != 1 {
+		t.Errorf("root id = %d", root.ID())
+	}
+	if root.Cont.ID() != 2 {
+		t.Errorf("second id = %d", root.Cont.ID())
+	}
+	if sp.Root.Procs[0].ID != 4 {
+		t.Errorf("proc def id = %d", sp.Root.Procs[0].ID)
+	}
+	if sp.Root.Procs[0].Body.Expr.ID() != 5 {
+		t.Errorf("proc body id = %d", sp.Root.Procs[0].Body.Expr.ID())
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse must panic on bad input")
+		}
+	}()
+	MustParse("not a spec")
+}
+
+func TestMustParseExprPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParseExpr must panic on bad input")
+		}
+	}()
+	MustParseExpr("[]")
+}

@@ -1,0 +1,87 @@
+package lotos
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestParseNeverPanics feeds the parser random byte soup and random
+// token-shaped soup: it must return an error or a tree, never panic.
+func TestParseNeverPanics(t *testing.T) {
+	pieces := []string{
+		"SPEC", "ENDSPEC", "PROC", "END", "WHERE", "exit", "stop", "i", ";",
+		"[]", "[>", ">>", "|||", "||", "|[", "]|", "(", ")", ",", "=",
+		"a1", "b2", "read17", "A", "B", "s2(7)", "r1(x)", "#0/2", "hide", "in",
+		"--comment\n", "\n", " ",
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var b strings.Builder
+		n := r.Intn(40)
+		for i := 0; i < n; i++ {
+			b.WriteString(pieces[r.Intn(len(pieces))])
+			b.WriteByte(' ')
+		}
+		_, _ = Parse(b.String()) // must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseNeverPanicsOnRawBytes(t *testing.T) {
+	f := func(data []byte) bool {
+		_, _ = Parse(string(data)) // must not panic
+		_, _ = ParseExpr(string(data))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeeplyNestedParens(t *testing.T) {
+	depth := 200
+	src := strings.Repeat("(", depth) + "a1; exit" + strings.Repeat(")", depth)
+	e, err := ParseExpr(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Format(e) != "a1; exit" {
+		t.Errorf("got %s", Format(e))
+	}
+}
+
+func TestLongSequenceChain(t *testing.T) {
+	var b strings.Builder
+	for i := 0; i < 2000; i++ {
+		b.WriteString("a1; ")
+	}
+	b.WriteString("exit")
+	e, err := ParseExpr(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	Walk(e, func(Expr) { count++ })
+	if count != 2001 {
+		t.Errorf("nodes = %d", count)
+	}
+}
+
+func TestErrorPositionsAreMeaningful(t *testing.T) {
+	_, err := Parse("SPEC a1; exit\n[] \n ENDSPEC")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if se.Line < 2 {
+		t.Errorf("error line = %d, want >= 2", se.Line)
+	}
+}

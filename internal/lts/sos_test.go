@@ -1,0 +1,276 @@
+package lts
+
+import (
+	"errors"
+	"sort"
+	"testing"
+
+	"repro/internal/lotos"
+)
+
+// envForExpr builds an environment for a bare expression with no processes.
+func envForExpr(t *testing.T) *Env {
+	t.Helper()
+	res, err := lotos.Resolve(&lotos.Spec{Root: &lotos.DefBlock{Expr: lotos.X()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewEnv(res)
+}
+
+func labelStrings(ts []Transition) []string {
+	out := make([]string, len(ts))
+	for i, t := range ts {
+		out[i] = t.Label.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+func wantLabels(t *testing.T, src string, want ...string) {
+	t.Helper()
+	env := envForExpr(t)
+	ts, err := env.Transitions(lotos.MustParseExpr(src))
+	if err != nil {
+		t.Fatalf("%s: %v", src, err)
+	}
+	got := labelStrings(ts)
+	sort.Strings(want)
+	if len(got) != len(want) {
+		t.Fatalf("%s: labels %v, want %v", src, got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: labels %v, want %v", src, got, want)
+		}
+	}
+}
+
+func TestTransitionsBasics(t *testing.T) {
+	wantLabels(t, "stop")
+	wantLabels(t, "exit", "delta")
+	wantLabels(t, "a1; exit", "a1")
+	wantLabels(t, "i; a1; exit", "i")
+	wantLabels(t, "a1; exit [] b2; exit", "a1", "b2")
+	wantLabels(t, "a1; exit ||| b2; exit", "a1", "b2")
+	wantLabels(t, "a1; exit >> b2; exit", "a1")
+	wantLabels(t, "exit >> b2; exit", "i")
+	wantLabels(t, "a1; exit [> b2; exit", "a1", "b2")
+	wantLabels(t, "exit [> b2; exit", "delta", "b2")
+}
+
+func TestFullSynchronization(t *testing.T) {
+	// "||" forces synchronization: only the common initial action fires.
+	wantLabels(t, "a1; b2; exit || a1; c3; exit", "a1")
+	// After a1, the sides offer b2 and c3, which cannot synchronize: deadlock.
+	env := envForExpr(t)
+	e := lotos.MustParseExpr("a1; b2; exit || a1; c3; exit")
+	ts, err := env.Transitions(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, err := env.Transitions(ts[0].To)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(next) != 0 {
+		t.Fatalf("expected deadlock after a1, got %v", labelStrings(next))
+	}
+}
+
+func TestGateSynchronization(t *testing.T) {
+	// Only a1 synchronizes; b2/c3 interleave.
+	wantLabels(t, "a1; b2; exit |[a1]| a1; c3; exit", "a1")
+	wantLabels(t, "b2; exit |[a1]| c3; exit", "b2", "c3")
+}
+
+func TestDeltaSynchronizesInParallel(t *testing.T) {
+	wantLabels(t, "exit ||| exit", "delta")
+	wantLabels(t, "exit ||| a1; exit", "a1")
+	// δ on one side only: composition cannot terminate yet.
+	env := envForExpr(t)
+	ts, err := env.Transitions(lotos.MustParseExpr("exit ||| a1; exit"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 1 || ts[0].Label.Kind != LEvent {
+		t.Fatalf("got %v", labelStrings(ts))
+	}
+}
+
+func TestEnableRule(t *testing.T) {
+	env := envForExpr(t)
+	e := lotos.MustParseExpr("a1; exit >> b2; exit")
+	ts, _ := env.Transitions(e)
+	if len(ts) != 1 || ts[0].Label.String() != "a1" {
+		t.Fatalf("got %v", labelStrings(ts))
+	}
+	// Successor is "exit >> b2; exit" whose only move is i into b2.
+	ts2, _ := env.Transitions(ts[0].To)
+	if len(ts2) != 1 || ts2[0].Label.Kind != LInternal {
+		t.Fatalf("after a1: %v", labelStrings(ts2))
+	}
+	ts3, _ := env.Transitions(ts2[0].To)
+	if len(ts3) != 1 || ts3[0].Label.String() != "b2" {
+		t.Fatalf("after i: %v", labelStrings(ts3))
+	}
+}
+
+func TestDisableRules(t *testing.T) {
+	env := envForExpr(t)
+	e := lotos.MustParseExpr("a1; b1; exit [> d3; exit")
+	ts, _ := env.Transitions(e)
+	if got := labelStrings(ts); got[0] != "a1" || got[1] != "d3" {
+		t.Fatalf("got %v", got)
+	}
+	// Taking a1 keeps the disabling alternative armed.
+	var afterA lotos.Expr
+	for _, tr := range ts {
+		if tr.Label.String() == "a1" {
+			afterA = tr.To
+		}
+	}
+	ts2, _ := env.Transitions(afterA)
+	if got := labelStrings(ts2); len(got) != 2 || got[0] != "b1" || got[1] != "d3" {
+		t.Fatalf("after a1: %v", got)
+	}
+	// Taking d3 kills the normal part.
+	var afterD lotos.Expr
+	for _, tr := range ts {
+		if tr.Label.String() == "d3" {
+			afterD = tr.To
+		}
+	}
+	ts3, _ := env.Transitions(afterD)
+	if got := labelStrings(ts3); len(got) != 1 || got[0] != "delta" {
+		t.Fatalf("after d3: %v", got)
+	}
+}
+
+func TestHideRule(t *testing.T) {
+	env := envForExpr(t)
+	e := lotos.HideIn([]string{"a1"}, lotos.MustParseExpr("a1; b2; exit"))
+	ts, _ := env.Transitions(e)
+	if len(ts) != 1 || ts[0].Label.Kind != LInternal {
+		t.Fatalf("hidden action must become i: %v", labelStrings(ts))
+	}
+	ts2, _ := env.Transitions(ts[0].To)
+	if len(ts2) != 1 || ts2[0].Label.String() != "b2" {
+		t.Fatalf("unhidden action must stay visible: %v", labelStrings(ts2))
+	}
+}
+
+func TestProcessUnfolding(t *testing.T) {
+	sp := lotos.MustParse(`SPEC A WHERE PROC A = a1; A [] b1; exit END ENDSPEC`)
+	lotos.Number(sp)
+	env, err := EnvFor(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := env.Transitions(sp.Root.Expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := labelStrings(ts)
+	if len(got) != 2 || got[0] != "a1" || got[1] != "b1" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestUnguardedRecursionDetected(t *testing.T) {
+	sp := lotos.MustParse(`SPEC A WHERE PROC A = A END ENDSPEC`)
+	lotos.Number(sp)
+	env, err := EnvFor(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = env.Transitions(sp.Root.Expr)
+	if !errors.Is(err, ErrUnguardedRecursion) {
+		t.Fatalf("got %v, want ErrUnguardedRecursion", err)
+	}
+}
+
+func TestOccurrenceStamping(t *testing.T) {
+	sp := lotos.MustParse(`SPEC A WHERE PROC A = a1; A END ENDSPEC`)
+	lotos.Number(sp)
+	env, err := EnvFor(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := sp.Root.Expr.(*lotos.ProcRef)
+	body, err := env.Instantiate(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Root ref has node id 1: first instance occurrence is 0/1.
+	inner := body.(*lotos.Prefix).Cont.(*lotos.ProcRef)
+	if inner.Occ != "0/1" {
+		t.Fatalf("inner occ = %q, want 0/1", inner.Occ)
+	}
+	// Instantiating the inner reference nests the occurrence further.
+	body2, err := env.Instantiate(inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner2 := body2.(*lotos.Prefix).Cont.(*lotos.ProcRef)
+	want := "0/1/" + itoaT(inner.ID())
+	if inner2.Occ != want {
+		t.Fatalf("occ = %q, want %q", inner2.Occ, want)
+	}
+	// Memoization returns the identical instance.
+	again, _ := env.Instantiate(ref)
+	if again != body {
+		t.Error("Instantiate must memoize per (definition, occurrence)")
+	}
+}
+
+func itoaT(x int) string {
+	if x == 0 {
+		return "0"
+	}
+	digits := ""
+	for x > 0 {
+		digits = string(rune('0'+x%10)) + digits
+		x /= 10
+	}
+	return digits
+}
+
+func TestMessageOccurrenceStamping(t *testing.T) {
+	sp := lotos.MustParse(`SPEC A WHERE PROC A = s2(7); exit END ENDSPEC`)
+	lotos.Number(sp)
+	env, err := EnvFor(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := env.Transitions(sp.Root.Expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 1 {
+		t.Fatalf("transitions: %v", labelStrings(ts))
+	}
+	ev := ts[0].Label.Ev
+	if ev.Occ == lotos.OccSymbolic || ev.Occ == "" {
+		t.Fatalf("message occurrence must be concrete after unfolding, got %q", ev.Occ)
+	}
+}
+
+func TestChoiceResolvedByInternalAction(t *testing.T) {
+	env := envForExpr(t)
+	e := lotos.MustParseExpr("a1; exit [] i; b1; exit")
+	ts, _ := env.Transitions(e)
+	var afterI lotos.Expr
+	for _, tr := range ts {
+		if tr.Label.Kind == LInternal {
+			afterI = tr.To
+		}
+	}
+	if afterI == nil {
+		t.Fatal("missing i transition")
+	}
+	ts2, _ := env.Transitions(afterI)
+	if len(ts2) != 1 || ts2[0].Label.String() != "b1" {
+		t.Fatalf("i must resolve the choice: %v", labelStrings(ts2))
+	}
+}

@@ -1,0 +1,349 @@
+package medium
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// This file implements the error-recovery extension the paper defers to
+// future work (Section 6): "for the case of a non-reliable underlying
+// communication service it is possible to use our algorithm as a first
+// step (assuming a reliable medium) and then use a procedure which will
+// systematically transform the error-free protocol into an error-
+// recoverable one", in the spirit of [Rama 86].
+//
+// Rather than rewriting the derived entity texts, the transformation is
+// realized as a transport layer: Reliable provides the exactly-once,
+// in-order FIFO channels the derived protocol assumes, on top of a lossy,
+// delaying "wire", using per-channel stop-and-wait ARQ (sequence numbers,
+// acknowledgments, retransmission timers). The derived entities run
+// unchanged; the experiments show they complete despite loss rates that
+// stall the bare medium.
+
+// Transport is the medium interface the runtime entities use. *Medium
+// (the paper's reliable FIFO medium) and *Reliable (ARQ over a lossy wire)
+// both implement it.
+type Transport interface {
+	Send(Message)
+	TryConsume(Message) bool
+	TryConsumeCheck(Message) bool
+	TryConsumeFlush(Message) bool
+	TryConsumeFlushCheck(Message) bool
+	Generation() uint64
+	WaitChange(uint64) uint64
+	InFlight() int
+	Stats() Stats
+	Close()
+}
+
+var (
+	_ Transport = (*Medium)(nil)
+	_ Transport = (*Reliable)(nil)
+)
+
+// ReliableConfig tunes the ARQ layer.
+type ReliableConfig struct {
+	// LossRate is the per-frame loss probability of the underlying wire
+	// (applied independently to data frames and acknowledgment frames).
+	LossRate float64
+	// MaxDelay bounds the random wire latency per frame.
+	MaxDelay time.Duration
+	// RTO is the retransmission timeout (default 2*MaxDelay + 2ms).
+	RTO time.Duration
+	// Seed seeds the loss/delay randomness.
+	Seed int64
+}
+
+// ReliableStats extends the basic counters with ARQ activity.
+type ReliableStats struct {
+	Stats
+	// Frames counts data-frame transmission attempts (incl. retransmits).
+	Frames int
+	// FrameLosses counts data frames dropped by the wire.
+	FrameLosses int
+	// Acks counts acknowledgment transmission attempts.
+	Acks int
+	// AckLosses counts acknowledgments dropped by the wire.
+	AckLosses int
+	// Retransmits counts retransmission timeouts that re-sent a frame.
+	Retransmits int
+	// Duplicates counts received duplicate data frames (re-acked, dropped).
+	Duplicates int
+}
+
+// chanState is the per-ordered-channel ARQ state.
+type chanState struct {
+	// Sender side: FIFO of messages not yet acknowledged; the head is the
+	// in-flight frame (stop-and-wait).
+	sendQ       []Message
+	nextSeq     uint64 // sequence number of sendQ[0]
+	awaitingAck bool
+	// Receiver side.
+	expected  uint64
+	delivered []Message
+}
+
+// Reliable is a stop-and-wait ARQ transport over a lossy wire.
+type Reliable struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	chans  map[[2]int]*chanState
+	rng    *rand.Rand
+	gen    uint64
+	closed bool
+	stats  ReliableStats
+	cfg    ReliableConfig
+}
+
+// NewReliable builds the ARQ transport.
+func NewReliable(cfg ReliableConfig) *Reliable {
+	if cfg.RTO <= 0 {
+		cfg.RTO = 2*cfg.MaxDelay + 2*time.Millisecond
+	}
+	r := &Reliable{
+		chans: map[[2]int]*chanState{},
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		cfg:   cfg,
+	}
+	r.cond = sync.NewCond(&r.mu)
+	return r
+}
+
+func (r *Reliable) state(from, to int) *chanState {
+	key := [2]int{from, to}
+	st := r.chans[key]
+	if st == nil {
+		st = &chanState{}
+		r.chans[key] = st
+	}
+	return st
+}
+
+// wireDelay returns a random latency (may be zero).
+func (r *Reliable) wireDelay() time.Duration {
+	if r.cfg.MaxDelay <= 0 {
+		return 0
+	}
+	return time.Duration(r.rng.Int63n(int64(r.cfg.MaxDelay)))
+}
+
+// lost flips the wire-loss coin.
+func (r *Reliable) lost() bool {
+	return r.cfg.LossRate > 0 && r.rng.Float64() < r.cfg.LossRate
+}
+
+// after schedules fn on the wire, respecting Close.
+func (r *Reliable) after(d time.Duration, fn func()) {
+	time.AfterFunc(d, func() {
+		r.mu.Lock()
+		if r.closed {
+			r.mu.Unlock()
+			return
+		}
+		fn() // called with r.mu held
+		r.cond.Broadcast()
+		r.mu.Unlock()
+	})
+}
+
+// Send enqueues the message for reliable in-order delivery. Never blocks.
+func (r *Reliable) Send(msg Message) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.stats.Sent++
+	st := r.state(msg.From, msg.To)
+	st.sendQ = append(st.sendQ, msg)
+	if !st.awaitingAck {
+		r.transmitHead(msg.From, msg.To, st)
+	}
+	r.gen++
+	r.cond.Broadcast()
+}
+
+// transmitHead puts the head of the send queue on the wire and arms the
+// retransmission timer. Caller holds r.mu; the head must exist.
+func (r *Reliable) transmitHead(from, to int, st *chanState) {
+	st.awaitingAck = true
+	seq := st.nextSeq
+	msg := st.sendQ[0]
+	r.stats.Frames++
+	if r.lost() {
+		r.stats.FrameLosses++
+	} else {
+		r.after(r.wireDelay(), func() { r.frameArrives(from, to, seq, msg) })
+	}
+	// Retransmission timer: if the frame is still unacknowledged when the
+	// timer fires, send it again.
+	r.after(r.cfg.RTO, func() {
+		cur := r.state(from, to)
+		if cur.awaitingAck && cur.nextSeq == seq {
+			r.stats.Retransmits++
+			r.retransmit(from, to, cur, seq, msg)
+		}
+	})
+}
+
+// retransmit re-sends a frame (r.mu held).
+func (r *Reliable) retransmit(from, to int, st *chanState, seq uint64, msg Message) {
+	r.stats.Frames++
+	if r.lost() {
+		r.stats.FrameLosses++
+	} else {
+		r.after(r.wireDelay(), func() { r.frameArrives(from, to, seq, msg) })
+	}
+	r.after(r.cfg.RTO, func() {
+		cur := r.state(from, to)
+		if cur.awaitingAck && cur.nextSeq == seq {
+			r.stats.Retransmits++
+			r.retransmit(from, to, cur, seq, msg)
+		}
+	})
+}
+
+// frameArrives is the receiver-side wire event (r.mu held).
+func (r *Reliable) frameArrives(from, to int, seq uint64, msg Message) {
+	st := r.state(from, to)
+	switch {
+	case seq == st.expected:
+		st.expected++
+		st.delivered = append(st.delivered, msg)
+		r.stats.Delivered++
+		r.gen++
+	case seq < st.expected:
+		r.stats.Duplicates++
+	default:
+		// Stop-and-wait never sends ahead; a future frame is impossible.
+		return
+	}
+	// Acknowledge everything up to expected (cumulative ack).
+	ackSeq := st.expected
+	r.stats.Acks++
+	if r.lost() {
+		r.stats.AckLosses++
+		return
+	}
+	r.after(r.wireDelay(), func() { r.ackArrives(from, to, ackSeq) })
+}
+
+// ackArrives is the sender-side wire event (r.mu held).
+func (r *Reliable) ackArrives(from, to int, ackSeq uint64) {
+	st := r.state(from, to)
+	if !st.awaitingAck || ackSeq <= st.nextSeq {
+		return // stale ack
+	}
+	st.nextSeq = ackSeq
+	st.sendQ = st.sendQ[1:]
+	st.awaitingAck = false
+	if len(st.sendQ) > 0 {
+		r.transmitHead(from, to, st)
+	}
+	r.gen++
+}
+
+// TryConsume removes the wanted message when it heads the delivered queue.
+func (r *Reliable) TryConsume(want Message) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := r.state(want.From, want.To)
+	if len(st.delivered) == 0 || st.delivered[0] != want {
+		return false
+	}
+	st.delivered = st.delivered[1:]
+	r.gen++
+	r.cond.Broadcast()
+	return true
+}
+
+// TryConsumeCheck reports whether TryConsume would succeed.
+func (r *Reliable) TryConsumeCheck(want Message) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := r.state(want.From, want.To)
+	return len(st.delivered) > 0 && st.delivered[0] == want
+}
+
+// TryConsumeFlush removes the wanted message from anywhere in the delivered
+// queue, discarding everything before it (interrupt-handshake semantics).
+func (r *Reliable) TryConsumeFlush(want Message) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := r.state(want.From, want.To)
+	for i, m := range st.delivered {
+		if m == want {
+			st.delivered = st.delivered[i+1:]
+			r.stats.Flushed += i
+			r.gen++
+			r.cond.Broadcast()
+			return true
+		}
+	}
+	return false
+}
+
+// TryConsumeFlushCheck reports whether TryConsumeFlush would succeed.
+func (r *Reliable) TryConsumeFlushCheck(want Message) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := r.state(want.From, want.To)
+	for _, m := range st.delivered {
+		if m == want {
+			return true
+		}
+	}
+	return false
+}
+
+// Generation returns the change counter.
+func (r *Reliable) Generation() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.gen
+}
+
+// WaitChange blocks while the generation equals gen and the transport is
+// open.
+func (r *Reliable) WaitChange(gen uint64) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for r.gen == gen && !r.closed {
+		r.cond.Wait()
+	}
+	return r.gen
+}
+
+// InFlight counts messages accepted but not yet consumed: unacknowledged
+// send queues plus delivered-but-unread messages. While it is non-zero the
+// system can still progress (retransmission keeps trying).
+func (r *Reliable) InFlight() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, st := range r.chans {
+		n += len(st.sendQ) + len(st.delivered)
+	}
+	return n
+}
+
+// Stats returns the basic counters (sent/delivered/dropped). Dropped is
+// always zero: the ARQ layer never loses accepted messages.
+func (r *Reliable) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats.Stats
+}
+
+// ARQStats returns the extended ARQ counters.
+func (r *Reliable) ARQStats() ReliableStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// Close wakes all waiters and stops future wire events.
+func (r *Reliable) Close() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.closed = true
+	r.cond.Broadcast()
+}

@@ -1,0 +1,127 @@
+package mutate
+
+import (
+	"testing"
+
+	"repro/internal/compose"
+	"repro/internal/core"
+	"repro/internal/lotos"
+)
+
+func deriveFor(t *testing.T, src string) *core.Derivation {
+	t.Helper()
+	d, err := core.Derive(lotos.MustParse(src), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestGenerateEnumeratesMutants(t *testing.T) {
+	d := deriveFor(t, "SPEC a1; b2; c3; exit ENDSPEC")
+	muts := Generate(d.Entities)
+	if len(muts) == 0 {
+		t.Fatal("no mutants generated")
+	}
+	kinds := map[Kind]int{}
+	for _, m := range muts {
+		kinds[m.Kind]++
+		if m.Description == "" || m.Place == 0 {
+			t.Errorf("mutant metadata incomplete: %+v", m)
+		}
+		// The mutated entity set must still be well-formed.
+		for p, sp := range m.Entities {
+			if _, err := lotos.Parse(sp.String()); err != nil {
+				t.Errorf("%s: entity %d does not re-parse: %v", m.Description, p, err)
+			}
+		}
+	}
+	// 2 sends, 2 receives in this protocol; each send also misdirectable
+	// (3 places), plus swaps.
+	if kinds[DropSend] != 2 || kinds[DropRecv] != 2 || kinds[Misdirect] != 2 {
+		t.Errorf("kind counts: %v", kinds)
+	}
+	if kinds[SwapPrefix] == 0 {
+		t.Errorf("no swap mutants: %v", kinds)
+	}
+}
+
+func TestMutantsDoNotAliasOriginal(t *testing.T) {
+	d := deriveFor(t, "SPEC a1; b2; exit ENDSPEC")
+	before := d.Entity(1).String() + d.Entity(2).String()
+	muts := Generate(d.Entities)
+	for range muts {
+	}
+	after := d.Entity(1).String() + d.Entity(2).String()
+	if before != after {
+		t.Error("mutation generation modified the original entities")
+	}
+	// Each mutant shares unmutated entities but owns the mutated one.
+	for _, m := range muts {
+		if m.Entities[m.Place] == d.Entity(m.Place) {
+			t.Errorf("%s: mutated entity aliases the original", m.Description)
+		}
+	}
+}
+
+// TestE16_VerifierKillsMutants is the mutation experiment: every mutant of
+// a derived protocol must either be rejected by the verifier or be
+// semantically redundant — and redundancy is cross-checked against the
+// message optimizer (the only expected survivors are drops of messages the
+// optimizer independently proves non-essential).
+func TestE16_VerifierKillsMutants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mutation experiment skipped in -short mode")
+	}
+	for _, src := range []string{
+		"SPEC a1; b2; c3; exit ENDSPEC",
+		"SPEC a1; b2; exit [] a1; c2; exit ENDSPEC",
+		"SPEC a1; exit >> (b2; exit ||| c3; exit) >> d1; exit ENDSPEC",
+	} {
+		d := deriveFor(t, src)
+		opts := compose.VerifyOptions{ObsDepth: 6, MaxStates: 100000}
+
+		// Messages the optimizer proves redundant may survive dropping.
+		optRes, err := compose.OptimizeMessages(d.Service.Spec, d.Entities, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		redundant := map[int]bool{}
+		for _, id := range optRes.Removed {
+			redundant[id] = true
+		}
+
+		muts := Generate(d.Entities)
+		killed, survivedOK := 0, 0
+		for _, m := range muts {
+			rep, err := compose.Verify(d.Service.Spec, m.Entities, opts)
+			if err != nil {
+				// Unanalyzable mutants (e.g. unguarded recursion) count as
+				// killed: the toolchain rejects them.
+				killed++
+				continue
+			}
+			if !rep.Ok() {
+				killed++
+				continue
+			}
+			// Survivor: acceptable only for dropped redundant messages or
+			// for swaps that commute (sends to distinct places).
+			switch m.Kind {
+			case DropSend, DropRecv:
+				survivedOK++
+				t.Logf("%s: survivor (semantically redundant message)", m.Description)
+			case SwapPrefix:
+				survivedOK++
+				t.Logf("%s: survivor (commuting swap)", m.Description)
+			default:
+				t.Errorf("%s: mutant survived verification\n%s", m.Description, src)
+			}
+		}
+		if killed == 0 {
+			t.Errorf("%s: no mutants killed (%d generated)", src, len(muts))
+		}
+		t.Logf("%s: %d mutants, %d killed, %d benign survivors",
+			src, len(muts), killed, survivedOK)
+	}
+}

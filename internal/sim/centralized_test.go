@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/lotos"
+)
+
+// The centralized "trivial solution" of Section 3 must also run correctly:
+// the server entity drives the client command loops over the same medium,
+// and every observed global trace is a service trace.
+
+func TestCentralizedRuntimeSequence(t *testing.T) {
+	src := "SPEC a1; b2; c3; d2; exit ENDSPEC"
+	service := lotos.MustParse(src)
+	cen, err := core.DeriveCentralized(service, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(1); seed <= 10; seed++ {
+		res, err := Run(cen.Entities, Config{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Completed {
+			t.Fatalf("seed %d: centralized run incomplete: blocked=%v trace=%v",
+				seed, res.Blocked, res.TraceStrings())
+		}
+		if err := CheckTrace(service, res, 0); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+		if got := len(res.Trace); got != 4 {
+			t.Errorf("seed %d: %d events, want 4 (%v)", seed, got, res.TraceStrings())
+		}
+	}
+}
+
+func TestCentralizedRuntimeChoiceAndLoop(t *testing.T) {
+	src := `SPEC A WHERE PROC A = a1; b2; A [] c1; d2; exit END ENDSPEC`
+	service := lotos.MustParse(src)
+	cen, err := core.DeriveCentralized(service, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(1); seed <= 10; seed++ {
+		res, err := Run(cen.Entities, Config{Seed: seed, MaxEvents: 12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.TimedOut || res.Deadlocked {
+			t.Fatalf("seed %d: %+v blocked=%v", seed, res, res.Blocked)
+		}
+		if err := CheckTrace(service, res, 0); err != nil {
+			t.Errorf("seed %d: %v (trace %v)", seed, err, res.TraceStrings())
+		}
+	}
+}
+
+func TestCentralizedUsesMoreMessagesAtRuntime(t *testing.T) {
+	// The Section-3 argument observed live: the centralized run exchanges
+	// more messages than the distributed one for the same trace.
+	src := "SPEC a1; b2; c3; d2; exit ENDSPEC"
+	service := lotos.MustParse(src)
+	cen, err := core.DeriveCentralized(service, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := core.Derive(service, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, err := Run(cen.Entities, Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr, err := Run(dist.Entities, Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cr.Completed || !dr.Completed {
+		t.Fatalf("runs incomplete: cen=%+v dist=%+v", cr, dr)
+	}
+	if cr.Medium.Sent <= dr.Medium.Sent {
+		t.Errorf("centralized sent %d, distributed %d — expected centralized to cost more",
+			cr.Medium.Sent, dr.Medium.Sent)
+	}
+}

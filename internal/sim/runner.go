@@ -1,0 +1,189 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/lotos"
+	"repro/internal/lts"
+	"repro/internal/medium"
+)
+
+// runner interprets one protocol entity.
+type runner struct {
+	place int
+	env   *lts.Env
+	cur   lotos.Expr
+	med   medium.Transport
+	world *world
+	cfg   Config
+	rng   *rand.Rand
+}
+
+func newRunner(place int, sp *lotos.Spec, med medium.Transport, w *world, cfg Config, seed int64) (*runner, error) {
+	env, err := lts.EnvFor(sp)
+	if err != nil {
+		return nil, fmt.Errorf("sim: entity %d: %w", place, err)
+	}
+	return &runner{
+		place: place,
+		env:   env,
+		cur:   sp.Root.Expr,
+		med:   med,
+		world: w,
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// candidate is one enabled step of the entity.
+type candidate struct {
+	t       lts.Transition
+	isDelta bool
+}
+
+// run executes the entity until successful termination or a world stop.
+// It returns a description of the entity's state (for diagnosis of
+// incomplete runs): "terminated", or the pending expression.
+func (r *runner) run() (string, error) {
+	for {
+		if r.world.isStopped() {
+			return r.describe(), nil
+		}
+		gen := r.world.generation()
+		medGen := r.med.Generation()
+
+		ts, err := r.env.Transitions(r.cur)
+		if err != nil {
+			return "", err
+		}
+		cands, offered, offeredIdx := r.enabled(ts)
+
+		// Possibly attempt a user interaction this step. A successful
+		// Choose CLAIMS the offer (a scripted harness advances its
+		// cursor), so an accepted service primitive must be executed
+		// immediately — it may not lose a lottery against the other
+		// candidates.
+		if len(offered) > 0 {
+			attempt := len(cands) == 0 || r.rng.Intn(len(cands)+1) == len(cands)
+			if attempt {
+				if pick := r.cfg.Harness.Choose(r.place, offered); pick >= 0 && pick < len(offered) {
+					t := ts[offeredIdx[pick]]
+					if err := r.execute(t); err != nil {
+						return "", err
+					}
+					r.cur = t.To
+					continue
+				}
+			}
+		}
+
+		if len(cands) == 0 {
+			if len(ts) == 0 {
+				// stop state: inaction forever. Report as blocked.
+				r.world.await(gen)
+				continue
+			}
+			// Block until the world moves (message arrival, script
+			// progress, other entities, stop).
+			if r.med.Generation() != medGen {
+				continue // a message arrived meanwhile; re-evaluate
+			}
+			r.world.await(gen)
+			continue
+		}
+
+		c := cands[r.rng.Intn(len(cands))]
+		if c.isDelta {
+			r.world.markDone()
+			return "terminated", nil
+		}
+		if err := r.execute(c.t); err != nil {
+			return "", err
+		}
+		r.cur = c.t.To
+	}
+}
+
+// enabled partitions the transitions into immediately executable candidates
+// and service-primitive offers.
+func (r *runner) enabled(ts []lts.Transition) (cands []candidate, offered []lotos.Event, offeredIdx []int) {
+	for i, t := range ts {
+		switch t.Label.Kind {
+		case lts.LDelta:
+			cands = append(cands, candidate{t: t, isDelta: true})
+		case lts.LInternal:
+			cands = append(cands, candidate{t: t})
+		case lts.LEvent:
+			ev := t.Label.Ev
+			switch ev.Kind {
+			case lotos.EvSend:
+				cands = append(cands, candidate{t: t})
+			case lotos.EvRecv:
+				// Peek: enabled only if the wanted message is consumable.
+				// The actual consumption happens in execute, which
+				// re-checks (another branch cannot steal it: only this
+				// entity consumes this channel). Handshake control
+				// messages use flush semantics (see core.FlushingMsgID).
+				want := medium.WantedBy(r.place, ev)
+				if flushingRecv(ev) {
+					if r.med.TryConsumeFlushCheck(want) {
+						cands = append(cands, candidate{t: t})
+					}
+				} else if r.med.TryConsumeCheck(want) {
+					cands = append(cands, candidate{t: t})
+				}
+			case lotos.EvService:
+				offered = append(offered, ev)
+				offeredIdx = append(offeredIdx, i)
+			}
+		}
+	}
+	return cands, offered, offeredIdx
+}
+
+// execute performs the side effect of one chosen transition.
+func (r *runner) execute(t lts.Transition) error {
+	switch t.Label.Kind {
+	case lts.LInternal:
+		r.world.bump()
+		return nil
+	case lts.LEvent:
+		ev := t.Label.Ev
+		switch ev.Kind {
+		case lotos.EvSend:
+			r.med.Send(medium.MessageFor(r.place, ev))
+			r.world.bump()
+			return nil
+		case lotos.EvRecv:
+			want := medium.WantedBy(r.place, ev)
+			consumed := false
+			if flushingRecv(ev) {
+				consumed = r.med.TryConsumeFlush(want)
+			} else {
+				consumed = r.med.TryConsume(want)
+			}
+			if !consumed {
+				return fmt.Errorf("sim: entity %d: receive %s no longer enabled (internal error)", r.place, want)
+			}
+			r.world.bump()
+			return nil
+		case lotos.EvService:
+			r.world.record(r.place, ev)
+			return nil
+		}
+	}
+	return fmt.Errorf("sim: entity %d: unexpected transition %s", r.place, t.Label)
+}
+
+// flushingRecv reports whether a receive event carries interrupt-handshake
+// flush semantics.
+func flushingRecv(ev lotos.Event) bool {
+	return ev.Tag == "" && core.FlushingMsgID(ev.Node)
+}
+
+// describe renders the entity's pending state for diagnostics.
+func (r *runner) describe() string {
+	return lotos.Format(r.cur)
+}

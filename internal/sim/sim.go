@@ -1,0 +1,355 @@
+// Package sim executes a derived protocol for real: one goroutine per
+// protocol entity, interpreting its specification with the operational
+// semantics of internal/lts and exchanging synchronization messages through
+// the concurrent FIFO medium of internal/medium — the runtime counterpart
+// of the algebraic composition checked by internal/compose.
+//
+// Service primitives are offered to a pluggable user harness (the "service
+// users" of Fig. 1), executed events are collected into a globally ordered
+// trace, and the trace is checked for membership in the service
+// specification's weak trace set. Repeated randomized runs give the
+// statistical face of the paper's Section-5 correctness theorem, under real
+// concurrency, scheduling nondeterminism, and (optionally) random message
+// delays.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/lotos"
+	"repro/internal/medium"
+)
+
+// TraceEvent is one executed service primitive.
+type TraceEvent struct {
+	Seq   int
+	Place int
+	Ev    lotos.Event
+}
+
+// String renders "a1".
+func (t TraceEvent) String() string { return t.Ev.String() }
+
+// Harness decides, for the user at one place, which of the offered service
+// primitives to execute. Returning -1 declines all offers for now (the
+// entity waits until something changes). Implementations must be safe for
+// concurrent use by multiple entity goroutines.
+type Harness interface {
+	Choose(place int, offered []lotos.Event) int
+}
+
+// AcceptAll is a harness that accepts a uniformly random offer.
+type AcceptAll struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewAcceptAll builds a seeded accept-everything harness.
+func NewAcceptAll(seed int64) *AcceptAll {
+	return &AcceptAll{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Choose implements Harness.
+func (h *AcceptAll) Choose(place int, offered []lotos.Event) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(offered) == 0 {
+		return -1
+	}
+	return h.rng.Intn(len(offered))
+}
+
+// Scripted is a harness that drives the users along a fixed global sequence
+// of service primitives; offers that do not match the next expected
+// primitive are declined. It makes directed scenarios reproducible.
+type Scripted struct {
+	mu     sync.Mutex
+	script []string
+	cursor int
+}
+
+// NewScripted builds a harness for the given event sequence (rendered
+// forms, e.g. "read1").
+func NewScripted(script []string) *Scripted {
+	return &Scripted{script: script}
+}
+
+// Choose implements Harness: it claims the next script slot when offered.
+func (h *Scripted) Choose(place int, offered []lotos.Event) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.cursor >= len(h.script) {
+		return -1
+	}
+	want := h.script[h.cursor]
+	for i, ev := range offered {
+		if ev.String() == want {
+			h.cursor++
+			return i
+		}
+	}
+	return -1
+}
+
+// Remaining returns how many script entries were not executed.
+func (h *Scripted) Remaining() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.script) - h.cursor
+}
+
+// Config tunes a simulation run.
+type Config struct {
+	// Seed drives every random choice of the run (scheduling decisions,
+	// harness, medium delays/losses derive their seeds from it).
+	Seed int64
+	// Medium configures the underlying communication medium.
+	Medium medium.Config
+	// Reliable interposes the stop-and-wait ARQ layer (medium.Reliable)
+	// between the entities and a lossy wire, realizing the Section-6
+	// error-recovery transformation: Medium.LossRate and Medium.MaxDelay
+	// then describe the unreliable WIRE, while the entities still see
+	// exactly-once in-order FIFO channels.
+	Reliable bool
+	// MaxEvents stops the run after this many service primitives
+	// (mandatory for non-terminating services; 0 means unlimited).
+	MaxEvents int
+	// Timeout aborts a stuck run (default 5s).
+	Timeout time.Duration
+	// Harness supplies user decisions (default: accept-all seeded from
+	// Seed).
+	Harness Harness
+}
+
+// Result reports one simulation run.
+type Result struct {
+	// Trace is the global service-primitive trace, in execution order.
+	Trace []TraceEvent
+	// Completed reports that every entity terminated successfully.
+	Completed bool
+	// Deadlocked reports a global standstill: every entity blocked, no
+	// message in flight.
+	Deadlocked bool
+	// TimedOut reports a timeout abort.
+	TimedOut bool
+	// Stopped reports a MaxEvents stop.
+	Stopped bool
+	// Medium is the medium counter snapshot.
+	Medium medium.Stats
+	// Blocked describes the entities' pending states for diagnosis when the
+	// run did not complete.
+	Blocked map[int]string
+	// EventsByPlace counts executed service primitives per place.
+	EventsByPlace map[int]int
+}
+
+// TraceStrings renders the trace as event strings.
+func (r *Result) TraceStrings() []string {
+	out := make([]string, len(r.Trace))
+	for i, t := range r.Trace {
+		out[i] = t.String()
+	}
+	return out
+}
+
+// world coordinates the entity goroutines.
+type world struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	gen      uint64
+	waiting  int
+	done     int
+	total    int
+	stopped  bool
+	deadlock bool
+	timedOut bool
+	maxhit   bool
+	med      medium.Transport
+
+	trace     []TraceEvent
+	maxEvents int
+}
+
+func newWorld(total int, med medium.Transport, maxEvents int) *world {
+	w := &world{total: total, med: med, maxEvents: maxEvents}
+	w.cond = sync.NewCond(&w.mu)
+	return w
+}
+
+func (w *world) bump() {
+	w.mu.Lock()
+	w.gen++
+	w.cond.Broadcast()
+	w.mu.Unlock()
+}
+
+func (w *world) stop(timeout bool) {
+	w.mu.Lock()
+	if !w.stopped {
+		w.stopped = true
+		w.timedOut = timeout
+	}
+	w.gen++
+	w.cond.Broadcast()
+	w.mu.Unlock()
+}
+
+func (w *world) isStopped() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.stopped
+}
+
+// record appends an executed service primitive; it may trigger a MaxEvents
+// stop.
+func (w *world) record(place int, ev lotos.Event) {
+	w.mu.Lock()
+	w.trace = append(w.trace, TraceEvent{Seq: len(w.trace), Place: place, Ev: ev})
+	if w.maxEvents > 0 && len(w.trace) >= w.maxEvents {
+		w.stopped = true
+		w.maxhit = true
+	}
+	w.gen++
+	w.cond.Broadcast()
+	w.mu.Unlock()
+}
+
+// markDone notes an entity's successful termination.
+func (w *world) markDone() {
+	w.mu.Lock()
+	w.done++
+	w.gen++
+	w.cond.Broadcast()
+	w.mu.Unlock()
+}
+
+// await blocks until the world generation moves past gen, detecting global
+// deadlock: everyone waiting or done, nothing in flight.
+func (w *world) await(gen uint64) uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.waiting++
+	if w.waiting+w.done == w.total && w.med.InFlight() == 0 && !w.stopped {
+		w.deadlock = true
+		w.stopped = true
+		w.gen++
+		w.cond.Broadcast()
+	}
+	for w.gen == gen && !w.stopped {
+		w.cond.Wait()
+	}
+	w.waiting--
+	return w.gen
+}
+
+func (w *world) generation() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.gen
+}
+
+// Run executes the protocol entities concurrently until all terminate, the
+// run deadlocks, MaxEvents service primitives were executed, or the timeout
+// expires.
+func Run(entities map[int]*lotos.Spec, cfg Config) (*Result, error) {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 5 * time.Second
+	}
+	if cfg.Harness == nil {
+		cfg.Harness = NewAcceptAll(cfg.Seed + 1)
+	}
+	if cfg.Medium.Seed == 0 {
+		cfg.Medium.Seed = cfg.Seed + 2
+	}
+	var med medium.Transport
+	if cfg.Reliable {
+		med = medium.NewReliable(medium.ReliableConfig{
+			LossRate: cfg.Medium.LossRate,
+			MaxDelay: cfg.Medium.MaxDelay,
+			Seed:     cfg.Medium.Seed,
+		})
+	} else {
+		med = medium.New(cfg.Medium)
+	}
+	defer med.Close()
+
+	places := make([]int, 0, len(entities))
+	for p := range entities {
+		places = append(places, p)
+	}
+	w := newWorld(len(places), med, cfg.MaxEvents)
+
+	// The sim ticker wakes waiters periodically while asynchronous medium
+	// events (delayed visibility, ARQ retransmission and delivery) may
+	// change what an entity can do.
+	if cfg.Medium.MaxDelay > 0 || cfg.Reliable {
+		tick := cfg.Medium.MaxDelay / 4
+		if tick <= 0 {
+			tick = time.Millisecond
+		}
+		go func() {
+			for !w.isStopped() {
+				time.Sleep(tick)
+				w.bump()
+			}
+		}()
+	}
+
+	timer := time.AfterFunc(cfg.Timeout, func() { w.stop(true) })
+	defer timer.Stop()
+
+	blocked := make(map[int]string, len(places))
+	var blockedMu sync.Mutex
+	var wg sync.WaitGroup
+	errs := make(chan error, len(places))
+	for i, p := range places {
+		runner, err := newRunner(p, entities[p], med, w, cfg, cfg.Seed+int64(100+i))
+		if err != nil {
+			return nil, err
+		}
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			desc, err := runner.run()
+			if err != nil {
+				errs <- fmt.Errorf("entity %d: %w", p, err)
+				w.stop(false)
+				return
+			}
+			blockedMu.Lock()
+			blocked[p] = desc
+			blockedMu.Unlock()
+		}(p)
+	}
+	// No separate completion watcher is needed: runners return when they
+	// terminate, and a global deadlock is detected by the last runner to
+	// block (await), which stops the world and wakes everyone.
+	wg.Wait()
+	w.stop(false)
+
+	select {
+	case err := <-errs:
+		return nil, err
+	default:
+	}
+
+	w.mu.Lock()
+	res := &Result{
+		Trace:         append([]TraceEvent(nil), w.trace...),
+		Completed:     w.done == w.total,
+		Deadlocked:    w.deadlock,
+		TimedOut:      w.timedOut,
+		Stopped:       w.maxhit,
+		Medium:        med.Stats(),
+		Blocked:       blocked,
+		EventsByPlace: map[int]int{},
+	}
+	for _, te := range res.Trace {
+		res.EventsByPlace[te.Place]++
+	}
+	w.mu.Unlock()
+	return res, nil
+}

@@ -1,0 +1,400 @@
+// Package protoderive derives protocol entity specifications from formal
+// communication-service specifications, implementing the algorithm of
+// "Deriving Protocol Specifications from Service Specifications" (Bochmann
+// & Gotzhein, SIGCOMM '86) in its extended Basic-LOTOS form (Kant,
+// Higashino & Bochmann): all operators — action prefix ";", choice "[]",
+// the parallel operators "|||", "|[G]|", "||", enabling ">>", disabling
+// "[>" — and unrestricted process invocation and recursion.
+//
+// The workflow is three calls:
+//
+//	svc, err := protoderive.ParseService(src)   // parse + validate (R1-R3)
+//	proto, err := svc.Derive()                  // T_p for every place
+//	report, err := proto.Verify(nil)            // S ≈ hide G in (T_1 ||| ... |[G]| Medium)
+//
+// and Simulate executes the derived entities concurrently over a reliable
+// FIFO medium, checking every observed trace against the service.
+//
+// The package is a facade over the implementation packages under internal/:
+// lotos (specification language), attr (SP/EP/AP attribute evaluation), apf
+// (action-prefix-form normalization), core (the derivation algorithm and
+// baselines), lts/equiv/compose (semantics and verification) and medium/sim
+// (the concurrent runtime).
+package protoderive
+
+import (
+	"time"
+
+	"repro/internal/attr"
+	"repro/internal/compose"
+	"repro/internal/core"
+	"repro/internal/lotos"
+	"repro/internal/lts"
+	"repro/internal/sim"
+)
+
+// Service is a parsed and validated communication-service specification.
+type Service struct {
+	spec *lotos.Spec
+	info *attr.Info
+}
+
+// ParseService parses a service specification and validates it: syntax,
+// name resolution, service-event well-formedness, and the paper's
+// restrictions R1 (locally decided choices), R2 (equal ending places) and
+// R3 (disabling starts within the normal part's ending places).
+func ParseService(src string) (*Service, error) {
+	sp, err := lotos.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	// Validate on a clone: attribute analysis numbers the tree in place.
+	info, err := attr.Validate(lotos.CloneSpec(sp))
+	if err != nil {
+		return nil, err
+	}
+	return &Service{spec: sp, info: info}, nil
+}
+
+// MustParseService is ParseService panicking on error, for examples and
+// tests with literal specifications.
+func MustParseService(src string) *Service {
+	s, err := ParseService(src)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Places returns the service access points (the attribute ALL), sorted.
+func (s *Service) Places() []int { return s.info.All.Sorted() }
+
+// Primitives returns the distinct service primitives, rendered, sorted by
+// place then name.
+func (s *Service) Primitives() []string {
+	evs := lotos.ServiceEvents(s.spec)
+	out := make([]string, len(evs))
+	for i, ev := range evs {
+		out[i] = ev.String()
+	}
+	return out
+}
+
+// String renders the (pretty-printed) specification.
+func (s *Service) String() string { return s.spec.String() }
+
+// AttributeTable renders the node numbering and the synthesized attributes
+// SP/EP/AP of every node — the textual form of the paper's Figure 4.
+func (s *Service) AttributeTable() string { return s.info.Table() }
+
+// Traces enumerates the service's weak traces up to the given number of
+// observable events (successful termination appears as "delta").
+func (s *Service) Traces(depth int) ([]string, error) {
+	g, err := lts.ExploreSpec(lotos.CloneSpec(s.spec), lts.Limits{MaxObsDepth: depth})
+	if err != nil {
+		return nil, err
+	}
+	return lts.WeakTraces(g, depth), nil
+}
+
+// DeriveOptions tunes Derive.
+type DeriveOptions struct {
+	// KeepRedundant keeps the raw Table-3 output (no empty-elimination).
+	KeepRedundant bool
+	// Dialect1986 restricts the input to the original SIGCOMM'86 operator
+	// subset (";", "[]", "|||", no processes).
+	Dialect1986 bool
+	// InterruptHandshake derives the Section-3.3 "alternative
+	// implementation" of disabling: a request/acknowledge handshake makes
+	// the interrupt trace-faithful to the LOTOS semantics (for
+	// non-terminating normal parts) at 2(n-1) messages per interrupt.
+	InterruptHandshake bool
+}
+
+// Protocol is a derived set of protocol entity specifications.
+type Protocol struct {
+	d *core.Derivation
+}
+
+// Derive runs the derivation algorithm with default options.
+func (s *Service) Derive() (*Protocol, error) {
+	return s.DeriveWithOptions(DeriveOptions{})
+}
+
+// DeriveWithOptions runs the derivation algorithm.
+func (s *Service) DeriveWithOptions(opts DeriveOptions) (*Protocol, error) {
+	mode := core.InterruptBroadcast
+	if opts.InterruptHandshake {
+		mode = core.InterruptHandshake
+	}
+	d, err := core.Derive(s.spec, core.Options{
+		KeepRedundant: opts.KeepRedundant,
+		Dialect1986:   opts.Dialect1986,
+		Interrupt:     mode,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Protocol{d: d}, nil
+}
+
+// Places returns the protocol's places, sorted.
+func (p *Protocol) Places() []int { return append([]int(nil), p.d.Places...) }
+
+// EntityText renders the derived entity specification for one place.
+func (p *Protocol) EntityText(place int) string {
+	e := p.d.Entity(place)
+	if e == nil {
+		return ""
+	}
+	return e.String()
+}
+
+// Render renders all entities, one per place, in place order.
+func (p *Protocol) Render() string { return p.d.Render() }
+
+// MessageCount returns the total number of send interactions across the
+// derived entities (the static message complexity of Section 4.3).
+func (p *Protocol) MessageCount() int { return p.d.SendCount() }
+
+// Complexity is the per-operator message-complexity report of Section 4.3.
+type Complexity struct {
+	Places        int
+	Seq           int
+	Choice        int
+	DisableRel    int
+	DisableInterr int
+	Instantiate   int
+}
+
+// Total returns the total message count.
+func (c Complexity) Total() int {
+	return c.Seq + c.Choice + c.DisableRel + c.DisableInterr + c.Instantiate
+}
+
+// Complexity computes the per-operator message-complexity breakdown.
+func (p *Protocol) Complexity() Complexity {
+	c := core.MessageComplexityMode(p.d.Service, p.d.Opts.Interrupt)
+	return Complexity{
+		Places:        c.Places,
+		Seq:           c.Seq,
+		Choice:        c.Choice,
+		DisableRel:    c.DisableRel,
+		DisableInterr: c.DisableInterr,
+		Instantiate:   c.Instantiate,
+	}
+}
+
+// ComplexityTable renders the Section 4.3 report.
+func (p *Protocol) ComplexityTable() string {
+	return core.MessageComplexityMode(p.d.Service, p.d.Opts.Interrupt).String()
+}
+
+// VerifyOptions tunes Verify. The zero value (or nil) selects defaults:
+// channel capacity 1, observable depth 8, default state cap.
+type VerifyOptions struct {
+	ChannelCap int
+	ObsDepth   int
+	MaxStates  int
+}
+
+// VerifyReport is the verification verdict for the Section-5 correctness
+// relation.
+type VerifyReport struct {
+	// Ok is the overall verdict.
+	Ok bool
+	// Complete reports full state-space exploration; then WeakBisimilar is
+	// the exact ≈ verdict. Otherwise the bounded trace check applies.
+	Complete      bool
+	WeakBisimilar bool
+	// TracesEqual reports weak-trace equality up to ObsDepth.
+	TracesEqual bool
+	ObsDepth    int
+	// Deadlocks counts deadlocked composed states.
+	Deadlocks int
+	// ServiceStates / ComposedStates are exploration sizes.
+	ServiceStates, ComposedStates int
+	// Summary is a human-readable report.
+	Summary string
+}
+
+// Verify checks the derived protocol against its service: the composed
+// system "hide G in ((T_1 ||| ... ||| T_n) |[G]| Medium)" must be weakly
+// bisimilar to the service (exactly, for finite state spaces; up to a
+// bounded observable depth otherwise).
+func (p *Protocol) Verify(opts *VerifyOptions) (*VerifyReport, error) {
+	var o VerifyOptions
+	if opts != nil {
+		o = *opts
+	}
+	rep, err := compose.Verify(p.d.Service.Spec, p.d.Entities, compose.VerifyOptions{
+		ChannelCap: o.ChannelCap,
+		ObsDepth:   o.ObsDepth,
+		MaxStates:  o.MaxStates,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &VerifyReport{
+		Ok:             rep.Ok(),
+		Complete:       rep.Complete,
+		WeakBisimilar:  rep.WeakBisimilar,
+		TracesEqual:    rep.TracesEqual,
+		ObsDepth:       rep.ObsDepth,
+		Deadlocks:      rep.ComposedDeadlocks,
+		ServiceStates:  rep.ServiceGraph.NumStates(),
+		ComposedStates: rep.ComposedGraph.NumStates(),
+		Summary:        rep.Summary(),
+	}, nil
+}
+
+// SimOptions tunes Simulate.
+type SimOptions struct {
+	// Seed drives all randomness (default 1).
+	Seed int64
+	// MaxEvents bounds non-terminating runs.
+	MaxEvents int
+	// Timeout aborts a stuck run (default 5s).
+	Timeout time.Duration
+	// Script, when non-empty, drives the users along this exact global
+	// sequence of service primitives instead of random choices.
+	Script []string
+	// MaxDelay enables random message delivery delays up to this bound.
+	MaxDelay time.Duration
+	// LossRate injects message loss (the derived protocols assume a
+	// reliable medium; loss demonstrates the Section-6 limitation).
+	LossRate float64
+	// ReliableLayer interposes a stop-and-wait ARQ transport between the
+	// entities and the lossy wire — the Section-6 error-recovery
+	// transformation. With it, LossRate describes the wire and the
+	// protocol still completes.
+	ReliableLayer bool
+}
+
+// SimResult reports one concurrent execution of the derived protocol.
+type SimResult struct {
+	// Trace is the observed global sequence of service primitives.
+	Trace []string
+	// Completed, Deadlocked, TimedOut, Stopped classify the run's end.
+	Completed, Deadlocked, TimedOut, Stopped bool
+	// MessagesSent / MessagesDropped are medium counters.
+	MessagesSent, MessagesDropped int
+	// TraceValid reports that the observed trace is a weak trace of the
+	// service (checked against the service state space).
+	TraceValid bool
+}
+
+// Simulate runs the derived entities concurrently — one goroutine per
+// protocol entity over a FIFO medium — and checks the observed trace
+// against the service specification.
+func (p *Protocol) Simulate(opts *SimOptions) (*SimResult, error) {
+	var o SimOptions
+	if opts != nil {
+		o = *opts
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	cfg := sim.Config{
+		Seed:      o.Seed,
+		MaxEvents: o.MaxEvents,
+		Timeout:   o.Timeout,
+	}
+	cfg.Medium.MaxDelay = o.MaxDelay
+	cfg.Medium.LossRate = o.LossRate
+	cfg.Reliable = o.ReliableLayer
+	if len(o.Script) > 0 {
+		cfg.Harness = sim.NewScripted(o.Script)
+	}
+	res, err := sim.Run(p.d.Entities, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := &SimResult{
+		Trace:           res.TraceStrings(),
+		Completed:       res.Completed,
+		Deadlocked:      res.Deadlocked,
+		TimedOut:        res.TimedOut,
+		Stopped:         res.Stopped,
+		MessagesSent:    res.Medium.Sent,
+		MessagesDropped: res.Medium.Dropped,
+	}
+	out.TraceValid = sim.CheckTrace(p.d.Service.Spec, res, 0) == nil
+	return out, nil
+}
+
+// OptimizeReport describes a message-optimization pass.
+type OptimizeReport struct {
+	// Before / After count send interactions in the entity texts.
+	Before, After int
+	// Removed lists the eliminated message identifications.
+	Removed []int
+	// Protocol is the optimized protocol (the receiver is unchanged).
+	Protocol *Protocol
+}
+
+// Optimize removes non-essential synchronization messages (the elimination
+// the paper defers to [Khen 89]), re-verifying the Section-5 relation after
+// every removal; only removals that keep the protocol correct survive. The
+// given options bound each verification (nil selects defaults).
+func (p *Protocol) Optimize(opts *VerifyOptions) (*OptimizeReport, error) {
+	var o VerifyOptions
+	if opts != nil {
+		o = *opts
+	}
+	res, err := compose.OptimizeMessages(p.d.Service.Spec, p.d.Entities, compose.VerifyOptions{
+		ChannelCap: o.ChannelCap,
+		ObsDepth:   o.ObsDepth,
+		MaxStates:  o.MaxStates,
+	})
+	if err != nil {
+		return nil, err
+	}
+	optimized := &core.Derivation{
+		Service:  p.d.Service,
+		Places:   append([]int(nil), p.d.Places...),
+		Entities: res.Entities,
+		Opts:     p.d.Opts,
+	}
+	return &OptimizeReport{
+		Before:   res.Before,
+		After:    res.After,
+		Removed:  append([]int(nil), res.Removed...),
+		Protocol: &Protocol{d: optimized},
+	}, nil
+}
+
+// Centralized is the paper's Section-3 "trivial solution" baseline: a
+// single server entity drives client command loops.
+type Centralized struct {
+	d *core.CentralizedDerivation
+}
+
+// DeriveCentralized builds the centralized baseline (server 0 selects the
+// smallest place). Disabling is not supported by the baseline.
+func (s *Service) DeriveCentralized(server int) (*Centralized, error) {
+	d, err := core.DeriveCentralized(s.spec, server)
+	if err != nil {
+		return nil, err
+	}
+	return &Centralized{d: d}, nil
+}
+
+// Server returns the controlling place.
+func (c *Centralized) Server() int { return c.d.Server }
+
+// EntityText renders one entity of the baseline.
+func (c *Centralized) EntityText(place int) string {
+	e := c.d.Entities[place]
+	if e == nil {
+		return ""
+	}
+	return e.String()
+}
+
+// MessageCount returns the number of messages a centralized execution
+// exchanges (two per remote primitive plus the final halt broadcast).
+func (c *Centralized) MessageCount() int { return c.d.MessageCount() }
+
+// Version identifies the library.
+const Version = "1.0.0"

@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test check bench bench-baseline
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check is the concurrency tier: vet plus the race detector over the
+# packages that exercise goroutines (the runtime, the medium and the
+# parallel explorer).
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/sim/ ./internal/medium/ ./internal/compose/ ./internal/lts/
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+# bench-baseline records a one-iteration sweep of every benchmark as JSON,
+# the per-PR performance record (see BENCH_PR1.json).
+bench-baseline:
+	$(GO) test -run '^$$' -bench . -benchtime 1x -json . | tee BENCH_PR1.json

@@ -13,6 +13,8 @@ package protoderive
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -314,6 +316,95 @@ func BenchmarkReductionAblation(b *testing.B) {
 			}
 			b.ReportMetric(float64(states), "states")
 		})
+	}
+}
+
+// --- exploration ablation: key encoding × serial/parallel ----------------------------
+
+// exploreBenchConfigs are the three exploration configurations compared by
+// the ablation benchmarks: the legacy serial explorer with string keys, the
+// serial explorer with the compact binary keys, and the parallel explorer
+// (binary keys). On a multi-core runner the parallel/binary configuration
+// is expected to beat serial/string by >= 2x on the largest corpus specs;
+// serial/binary isolates how much of that comes from the key encoding.
+var exploreBenchConfigs = []struct {
+	name     string
+	parallel bool
+	strKeys  bool
+}{
+	{"serial-string", false, true},
+	{"serial-binary", false, false},
+	{"parallel-binary", true, false},
+}
+
+func benchExplore(b *testing.B, entities map[int]*lotos.Spec, cfg compose.Config) {
+	b.Helper()
+	var states int
+	for i := 0; i < b.N; i++ {
+		sys, err := compose.New(entities, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g, err := sys.Explore()
+		if err != nil {
+			b.Fatal(err)
+		}
+		states = g.NumStates()
+	}
+	b.ReportMetric(float64(states), "states")
+}
+
+// BenchmarkExploreCorpusAblation explores every specs/ corpus entry under
+// the three configurations. The multiinstance spec is the largest (about
+// 117k states at this bound) and dominates the comparison.
+func BenchmarkExploreCorpusAblation(b *testing.B) {
+	files, err := filepath.Glob(filepath.Join("specs", "*.spec"))
+	if err != nil || len(files) == 0 {
+		b.Fatalf("no corpus specs: %v", err)
+	}
+	lim := lts.Limits{MaxObsDepth: 5, MaxStates: 200000}
+	for _, file := range files {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			b.Fatal(err)
+		}
+		d, err := core.Derive(mustSpec(b, string(src)), core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		base := strings.TrimSuffix(filepath.Base(file), ".spec")
+		for _, cfg := range exploreBenchConfigs {
+			b.Run(base+"/"+cfg.name, func(b *testing.B) {
+				benchExplore(b, d.Entities, compose.Config{
+					Limits:     lim,
+					Parallel:   cfg.parallel,
+					StringKeys: cfg.strKeys,
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkExplorePlacesSweep scales the number of places of an
+// interleaved workload and compares serial against parallel exploration:
+// more places mean wider BFS levels, which is where the frontier-at-a-time
+// parallelism pays off.
+func BenchmarkExplorePlacesSweep(b *testing.B) {
+	lim := lts.Limits{MaxObsDepth: 6, MaxStates: 20000}
+	for _, n := range []int{2, 4, 8, 16} {
+		d, err := core.Derive(mustSpec(b, parallelSpec(n, 2)), core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, cfg := range exploreBenchConfigs {
+			b.Run(fmt.Sprintf("n=%d/%s", n, cfg.name), func(b *testing.B) {
+				benchExplore(b, d.Entities, compose.Config{
+					Limits:     lim,
+					Parallel:   cfg.parallel,
+					StringKeys: cfg.strKeys,
+				})
+			})
+		}
 	}
 }
 

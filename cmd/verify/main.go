@@ -18,6 +18,7 @@
 //	-depth N      observable comparison depth (default 8)
 //	-cap N        medium channel capacity (default 1)
 //	-maxstates N  exploration state cap
+//	-parallel     explore the composed state space with one worker per CPU
 //	-sim N        additionally run N randomized concurrent simulations
 //	-seed S       simulation base seed
 //	-events N     simulation event bound (default 40)
@@ -52,6 +53,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	maxEvents := fs.Int("events", 40, "simulation event bound")
 	optimize := fs.Bool("optimize", false, "remove non-essential messages")
 	handshake := fs.Bool("handshake", false, "use the Section-3.3 request/acknowledge interrupt implementation")
+	parallel := fs.Bool("parallel", false, "explore the composed state space with one worker per CPU")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: verify [flags] service.spec\n")
 		fs.PrintDefaults()
@@ -83,6 +85,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		ChannelCap: *chanCap,
 		ObsDepth:   *depth,
 		MaxStates:  *maxStates,
+		Parallel:   *parallel,
 	}
 	rep, err := compose.Verify(d.Service.Spec, d.Entities, opts)
 	if err != nil {

@@ -63,6 +63,21 @@ func TestVerifyOptimize(t *testing.T) {
 	}
 }
 
+func TestVerifyParallelFlag(t *testing.T) {
+	code, out, _ := runVerify(t, []string{"-parallel", "-"}, "SPEC a1; b2; c3; exit ENDSPEC")
+	if code != cli.ExitOK {
+		t.Fatalf("exit %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "verdict: OK") {
+		t.Errorf("parallel verification output:\n%s", out)
+	}
+	// Parallel and serial exploration must report identical state counts.
+	_, serialOut, _ := runVerify(t, []string{"-"}, "SPEC a1; b2; c3; exit ENDSPEC")
+	if out != serialOut {
+		t.Errorf("parallel and serial reports differ:\n%s\nvs\n%s", out, serialOut)
+	}
+}
+
 func TestVerifyRejectsInvalidService(t *testing.T) {
 	code, _, errw := runVerify(t, []string{"-"}, "SPEC a1; exit [] b2; exit ENDSPEC")
 	if code != cli.ExitFail || !strings.Contains(errw, "R1") {

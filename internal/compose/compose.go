@@ -15,13 +15,29 @@
 // Successful termination synchronizes across the entities only — the
 // paper's Medium never terminates, and its algebraic proof composes
 // termination over the entities alone.
+//
+// # State keys
+//
+// Global states are identified by a compact fixed-layout binary key: the
+// 16-byte content digests of the entities' interned local states (one per
+// place, in place order) followed by the non-empty channels (slot number,
+// queue length, one digest per in-flight message), hashed once more to a
+// fixed 16 bytes. Every component is derived from *content* (the canonical
+// local expression, the message's tag/node/occurrence), never from interning
+// order, so the key of a global state is identical no matter which
+// exploration order — serial or parallel — first reached it. Entity-local
+// states and messages are interned to small integers per System, so queue
+// operations and equality checks never allocate or compare strings.
 package compose
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/lotos"
@@ -43,6 +59,20 @@ type Config struct {
 	// and explores every interleaving. Exponentially slower; kept for the
 	// reduction-soundness tests and the ablation benchmark.
 	NoReduction bool
+	// Parallel explores the product with the level-synchronous parallel
+	// BFS (lts.ExploreSourceParallel) instead of the serial explorer. The
+	// resulting graph has the same state-key set and weakly bisimilar
+	// behaviour; state numbering is deterministic run to run.
+	Parallel bool
+	// Workers sizes the parallel explorer's worker pool (0 = GOMAXPROCS).
+	// Ignored unless Parallel is set.
+	Workers int
+	// StringKeys selects the legacy human-readable string state keys
+	// instead of the binary digests — slower and allocation-heavy; kept
+	// for the key-encoding ablation benchmark and for debugging. String
+	// keys embed per-run interned ids, so they are not comparable across
+	// System instances.
+	StringKeys bool
 }
 
 // System is a set of protocol entities ready for product exploration.
@@ -52,62 +82,134 @@ type System struct {
 	// Entities holds one specification per place.
 	Entities map[int]*lotos.Spec
 
-	envs map[int]*lts.Env
-	cfg  Config
-	// Entity-local state interning: every distinct entity expression gets
-	// a small integer id per place, so global state keys stay short and
-	// local transitions are derived once per entity state.
-	intern map[int]map[string]int // place -> canon -> local id
-	local  map[int][]localState   // place -> local id -> state
+	envs     []*lts.Env  // indexed like Places
+	placeIdx map[int]int // place number -> index in Places
+	cfg      Config
+
+	// Interning tables, shared by every exploration of the system and —
+	// under the parallel explorer — by every worker, hence the lock.
+	// Entity-local state interning mirrors the paper's observation that
+	// the product factors through the (much smaller) local transition
+	// systems: every distinct entity expression gets a small integer id
+	// per place, local transitions are derived once per local state, and
+	// messages are interned to small integers per system.
+	mu     sync.RWMutex
+	intern []map[string]int32 // place idx -> canon -> local id
+	local  [][]localState     // place idx -> local id -> state
+	msgIDs map[message]int32  // message -> id
+	msgs   []message          // id -> message (diagnostics, string keys)
+	msgSum [][16]byte         // id -> content digest
 }
 
 // localState is one interned entity-local state. Transitions are derived
 // lazily (entities may be infinite-state under recursion, so the local
 // graphs cannot be built eagerly).
 type localState struct {
-	expr    lotos.Expr
+	expr lotos.Expr
+	// sum is the 16-byte digest of the canonical expression — the state's
+	// order-independent contribution to global state keys.
+	sum     [16]byte
 	derived bool
 	trans   []cachedTrans
 }
 
-// cachedTrans is an entity-local transition targeting an interned state.
+// cachedTrans is an entity-local transition targeting an interned state,
+// with the message bookkeeping resolved once at derivation time.
 type cachedTrans struct {
 	label lts.Label
-	to    int // local state id
+	to    int32 // local state id
+	peer  int32 // place index of the message peer, -1 for non-message labels
+	msg   int32 // interned message id (sent or expected), -1 otherwise
+	flush bool  // receive carries interrupt-handshake flush semantics
 }
 
-// internState assigns (or recalls) the local id of an entity expression.
-func (s *System) internState(place int, e lotos.Expr) (int, error) {
+// digest16 truncates a SHA-256 content digest to the 16 bytes used in keys.
+func digest16(data []byte) (h [16]byte) {
+	sum := sha256.Sum256(data)
+	copy(h[:], sum[:16])
+	return h
+}
+
+// internStateLocked assigns (or recalls) the local id of an entity
+// expression. Caller holds s.mu.
+func (s *System) internStateLocked(idx int, e lotos.Expr) int32 {
 	key := lotos.Canon(e)
-	if id, ok := s.intern[place][key]; ok {
-		return id, nil
+	if id, ok := s.intern[idx][key]; ok {
+		return id
 	}
-	id := len(s.local[place])
-	s.intern[place][key] = id
-	s.local[place] = append(s.local[place], localState{expr: e})
-	return id, nil
+	id := int32(len(s.local[idx]))
+	s.intern[idx][key] = id
+	s.local[idx] = append(s.local[idx], localState{expr: e, sum: digest16([]byte(key))})
+	return id
+}
+
+// msgIDLocked assigns (or recalls) the interned id of a message and its
+// content digest. The digest input frames every field with its length, so
+// no two distinct messages share an encoding — a tag shaped like "7#0"
+// cannot collide with the node-7/occurrence-"0" message, and separator
+// characters inside a tag cannot corrupt any framing. Caller holds s.mu.
+func (s *System) msgIDLocked(m message) int32 {
+	if id, ok := s.msgIDs[m]; ok {
+		return id
+	}
+	id := int32(len(s.msgs))
+	s.msgIDs[m] = id
+	s.msgs = append(s.msgs, m)
+	buf := make([]byte, 0, 32)
+	buf = binary.AppendUvarint(buf, uint64(len(m.Tag)))
+	buf = append(buf, m.Tag...)
+	buf = binary.AppendUvarint(buf, uint64(uint32(m.Node)))
+	buf = binary.AppendUvarint(buf, uint64(len(m.Occ)))
+	buf = append(buf, m.Occ...)
+	s.msgSum = append(s.msgSum, digest16(buf))
+	return id
 }
 
 // localTrans derives (once) and returns the transitions of a local state.
-func (s *System) localTrans(place, id int) ([]cachedTrans, error) {
-	st := &s.local[place][id]
+// Safe for concurrent use: cached results are returned under a read lock;
+// the first derivation of a local state runs under the write lock, which
+// also serializes the underlying (non-thread-safe) SOS environment.
+func (s *System) localTrans(idx int, id int32) ([]cachedTrans, error) {
+	s.mu.RLock()
+	if st := &s.local[idx][id]; st.derived {
+		trans := st.trans
+		s.mu.RUnlock()
+		return trans, nil
+	}
+	s.mu.RUnlock()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := &s.local[idx][id]
 	if st.derived {
 		return st.trans, nil
 	}
-	ts, err := s.envs[place].Transitions(st.expr)
+	ts, err := s.envs[idx].Transitions(st.expr)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]cachedTrans, len(ts))
 	for i, t := range ts {
-		toID, err := s.internState(place, t.To)
-		if err != nil {
-			return nil, err
+		ct := cachedTrans{label: t.Label, to: s.internStateLocked(idx, t.To), peer: -1, msg: -1}
+		if t.Label.Kind == lts.LEvent {
+			ev := t.Label.Ev
+			if ev.Kind == lotos.EvSend || ev.Kind == lotos.EvRecv {
+				pi, ok := s.placeIdx[ev.Place]
+				if !ok {
+					return nil, fmt.Errorf("message event %s targets unknown place %d", ev, ev.Place)
+				}
+				ct.peer = int32(pi)
+				ct.msg = s.msgIDLocked(msgOf(ev))
+				if ev.Kind == lotos.EvRecv {
+					ct.flush = flushingRecv(ev)
+				}
+			}
 		}
-		out[i] = cachedTrans{label: t.Label, to: toID}
+		out[i] = ct
 	}
-	// Re-take the pointer: internState may have grown the backing array.
-	st = &s.local[place][id]
+	// Re-take the pointer: internStateLocked may have grown the backing
+	// array.
+	st = &s.local[idx][id]
 	st.trans = out
 	st.derived = true
 	return out, nil
@@ -121,22 +223,23 @@ func New(entities map[int]*lotos.Spec, cfg Config) (*System, error) {
 	}
 	sys := &System{
 		Entities: entities,
-		envs:     map[int]*lts.Env{},
+		placeIdx: map[int]int{},
 		cfg:      cfg,
-		intern:   map[int]map[string]int{},
-		local:    map[int][]localState{},
+		msgIDs:   map[message]int32{},
 	}
 	for p := range entities {
 		sys.Places = append(sys.Places, p)
 	}
 	sort.Ints(sys.Places)
-	for _, p := range sys.Places {
+	for idx, p := range sys.Places {
 		env, err := lts.EnvFor(entities[p])
 		if err != nil {
 			return nil, fmt.Errorf("compose: entity %d: %w", p, err)
 		}
-		sys.envs[p] = env
-		sys.intern[p] = map[string]int{}
+		sys.envs = append(sys.envs, env)
+		sys.placeIdx[p] = idx
+		sys.intern = append(sys.intern, map[string]int32{})
+		sys.local = append(sys.local, nil)
 	}
 	return sys, nil
 }
@@ -160,22 +263,21 @@ func flushingRecv(ev lotos.Event) bool {
 	return ev.Tag == "" && core.FlushingMsgID(ev.Node)
 }
 
-// consumeFrom returns the channel contents after consuming the wanted
+// consumeIDs returns the channel contents after consuming the wanted
 // message, honouring flush semantics, or ok=false when not consumable.
-func consumeFrom(q []message, ev lotos.Event) (rest []message, ok bool) {
-	want := msgOf(ev)
+func consumeIDs(q []int32, want int32, flush bool) (rest []int32, ok bool) {
 	if len(q) == 0 {
 		return nil, false
 	}
-	if !flushingRecv(ev) {
+	if !flush {
 		if q[0] != want {
 			return nil, false
 		}
-		return append([]message(nil), q[1:]...), true
+		return append([]int32(nil), q[1:]...), true
 	}
 	for i, m := range q {
 		if m == want {
-			return append([]message(nil), q[i+1:]...), true
+			return append([]int32(nil), q[i+1:]...), true
 		}
 	}
 	return nil, false
@@ -189,63 +291,98 @@ func (m message) String() string {
 }
 
 // gstate is one global state: the interned local-state ids of the entities
-// (indexed like Places) and the channel contents, keyed by "from>to".
+// (indexed like Places) and the channel contents as interned message-id
+// queues, indexed by channel slot fromIdx*n + toIdx.
 type gstate struct {
-	locals []int
-	chans  map[string][]message
+	locals []int32
+	chans  [][]int32
 }
-
-func chanKey(from, to int) string { return fmt.Sprintf("%d>%d", from, to) }
 
 // key builds the canonical global state key.
 func (s *System) key(g *gstate) string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.cfg.StringKeys {
+		return s.stringKeyLocked(g)
+	}
+	return s.binaryKeyLocked(g)
+}
+
+// binaryKeyLocked assembles the fixed-layout binary key: one 16-byte local
+// state digest per place, then for each non-empty channel its slot (+1),
+// queue length and the queued messages' digests, all collapsed to a final
+// 16-byte digest. The layout is unambiguous (fixed-size digest blocks,
+// explicit lengths, channels in ascending slot order), so distinct global
+// states never share a key input.
+func (s *System) binaryKeyLocked(g *gstate) string {
+	buf := make([]byte, 0, 512)
+	for idx, id := range g.locals {
+		sum := &s.local[idx][id].sum
+		buf = append(buf, sum[:]...)
+	}
+	for slot, q := range g.chans {
+		if len(q) == 0 {
+			continue
+		}
+		buf = binary.AppendUvarint(buf, uint64(slot)+1)
+		buf = binary.AppendUvarint(buf, uint64(len(q)))
+		for _, mid := range q {
+			sum := &s.msgSum[mid]
+			buf = append(buf, sum[:]...)
+		}
+	}
+	sum := sha256.Sum256(buf)
+	return string(sum[:16])
+}
+
+// stringKeyLocked is the legacy human-readable key encoding, kept for the
+// key-encoding ablation benchmark and for debugging. Message renderings are
+// length-prefixed and kind-tagged so the historical collisions (a tag
+// containing a separator or shaped like "node#occ") cannot merge distinct
+// states, but the encoding still pays the fmt/strings allocation cost the
+// binary keys avoid.
+func (s *System) stringKeyLocked(g *gstate) string {
 	var b strings.Builder
 	for i, id := range g.locals {
 		if i > 0 {
 			b.WriteByte('|')
 		}
-		b.WriteString(strconv.Itoa(id))
+		b.WriteString(strconv.Itoa(int(id)))
 	}
-	// Channels in deterministic order.
-	keys := make([]string, 0, len(g.chans))
-	for k, msgs := range g.chans {
-		if len(msgs) == 0 {
+	for slot, q := range g.chans {
+		if len(q) == 0 {
 			continue
 		}
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		b.WriteString(";")
-		b.WriteString(k)
-		b.WriteString("=")
-		for _, m := range g.chans[k] {
-			b.WriteString(m.String())
-			b.WriteByte(',')
+		fmt.Fprintf(&b, ";%d=", slot)
+		for _, mid := range q {
+			m := s.msgs[mid]
+			if m.Tag != "" {
+				fmt.Fprintf(&b, "t%d:%s,", len(m.Tag), m.Tag)
+			} else {
+				fmt.Fprintf(&b, "m%d#%d:%s,", m.Node, len(m.Occ), m.Occ)
+			}
 		}
 	}
 	return b.String()
 }
 
-// clone copies the state with one entity local state replaced.
-func (g *gstate) clone(idx, localID int) *gstate {
-	out := &gstate{locals: append([]int(nil), g.locals...), chans: g.chans}
+// clone copies the state with one entity local state replaced. The channel
+// queues are shared (only cloneChans callers mutate them).
+func (g *gstate) clone(idx int, localID int32) *gstate {
+	out := &gstate{locals: append([]int32(nil), g.locals...), chans: g.chans}
 	out.locals[idx] = localID
 	return out
 }
 
-// cloneChans additionally deep-copies the channel map for mutation.
-func (g *gstate) cloneChans(idx, localID int) *gstate {
+// cloneChans additionally copies the channel slot table for mutation.
+func (g *gstate) cloneChans(idx int, localID int32) *gstate {
 	out := g.clone(idx, localID)
-	chans := make(map[string][]message, len(g.chans))
-	for k, v := range g.chans {
-		chans[k] = v
-	}
-	out.chans = chans
+	out.chans = append([][]int32(nil), g.chans...)
 	return out
 }
 
-// source implements lts.StateSource over the product system.
+// source implements lts.StateSource over the product system. Next is safe
+// for concurrent use (the parallel explorer's workers share one source).
 type source struct {
 	sys *System
 }
@@ -263,6 +400,7 @@ type source struct {
 func (src *source) Next(state any) ([]lts.GenTransition, error) {
 	g := state.(*gstate)
 	sys := src.sys
+	n := len(sys.Places)
 
 	// Partial-order reduction: if some entity's ONLY local transition is an
 	// internal action or an enabled receive, fire it as the state's sole
@@ -276,10 +414,9 @@ func (src *source) Next(state any) ([]lts.GenTransition, error) {
 	// onto one channel changes the FIFO order.
 	if !sys.cfg.NoReduction {
 		for idx, localID := range g.locals {
-			place := sys.Places[idx]
-			ts, err := sys.localTrans(place, localID)
+			ts, err := sys.localTrans(idx, localID)
 			if err != nil {
-				return nil, fmt.Errorf("entity %d: %w", place, err)
+				return nil, fmt.Errorf("entity %d: %w", sys.Places[idx], err)
 			}
 			if len(ts) != 1 {
 				continue
@@ -290,14 +427,13 @@ func (src *source) Next(state any) ([]lts.GenTransition, error) {
 				next := g.clone(idx, t.to)
 				return []lts.GenTransition{{Label: lts.Internal(), Key: sys.key(next), To: next}}, nil
 			case t.label.Kind == lts.LEvent && t.label.Ev.Kind == lotos.EvRecv:
-				ev := t.label.Ev
-				ck := chanKey(ev.Place, place)
-				rest, ok := consumeFrom(g.chans[ck], ev)
+				slot := int(t.peer)*n + idx
+				rest, ok := consumeIDs(g.chans[slot], t.msg, t.flush)
 				if !ok {
 					continue // blocked; not eligible
 				}
 				next := g.cloneChans(idx, t.to)
-				next.chans[ck] = rest
+				next.chans[slot] = rest
 				return []lts.GenTransition{{Label: lts.Internal(), Key: sys.key(next), To: next}}, nil
 			}
 		}
@@ -305,12 +441,11 @@ func (src *source) Next(state any) ([]lts.GenTransition, error) {
 
 	var out []lts.GenTransition
 	deltaReady := 0
-	deltaTargets := make([]int, len(g.locals))
+	deltaTargets := make([]int32, len(g.locals))
 	for idx, localID := range g.locals {
-		place := sys.Places[idx]
-		ts, err := sys.localTrans(place, localID)
+		ts, err := sys.localTrans(idx, localID)
 		if err != nil {
-			return nil, fmt.Errorf("entity %d: %w", place, err)
+			return nil, fmt.Errorf("entity %d: %w", sys.Places[idx], err)
 		}
 		sawDelta := false
 		for _, t := range ts {
@@ -331,21 +466,25 @@ func (src *source) Next(state any) ([]lts.GenTransition, error) {
 					next := g.clone(idx, t.to)
 					out = append(out, lts.GenTransition{Label: t.label, Key: sys.key(next), To: next})
 				case lotos.EvSend:
-					ck := chanKey(place, ev.Place)
-					if len(g.chans[ck]) >= sys.cfg.ChannelCap {
+					slot := idx*n + int(t.peer)
+					q := g.chans[slot]
+					if len(q) >= sys.cfg.ChannelCap {
 						continue // channel full: the send blocks
 					}
 					next := g.cloneChans(idx, t.to)
-					next.chans[ck] = append(append([]message(nil), g.chans[ck]...), msgOf(ev))
+					nq := make([]int32, len(q)+1)
+					copy(nq, q)
+					nq[len(q)] = t.msg
+					next.chans[slot] = nq
 					out = append(out, lts.GenTransition{Label: lts.Internal(), Key: sys.key(next), To: next})
 				case lotos.EvRecv:
-					ck := chanKey(ev.Place, place)
-					rest, ok := consumeFrom(g.chans[ck], ev)
+					slot := int(t.peer)*n + idx
+					rest, ok := consumeIDs(g.chans[slot], t.msg, t.flush)
 					if !ok {
 						continue // no matching message consumable
 					}
 					next := g.cloneChans(idx, t.to)
-					next.chans[ck] = rest
+					next.chans[slot] = rest
 					out = append(out, lts.GenTransition{Label: lts.Internal(), Key: sys.key(next), To: next})
 				}
 			}
@@ -359,15 +498,20 @@ func (src *source) Next(state any) ([]lts.GenTransition, error) {
 }
 
 // Explore builds the observable global transition graph of the composed
-// protocol system.
+// protocol system. With Config.Parallel it runs the frontier-at-a-time
+// parallel explorer; the serial explorer remains the oracle the parallel
+// path is cross-checked against.
 func (s *System) Explore() (*lts.Graph, error) {
-	root := &gstate{chans: map[string][]message{}}
-	for _, p := range s.Places {
-		id, err := s.internState(p, s.Entities[p].Root.Expr)
-		if err != nil {
-			return nil, fmt.Errorf("compose: entity %d: %w", p, err)
-		}
-		root.locals = append(root.locals, id)
+	n := len(s.Places)
+	root := &gstate{chans: make([][]int32, n*n)}
+	s.mu.Lock()
+	for idx, p := range s.Places {
+		root.locals = append(root.locals, s.internStateLocked(idx, s.Entities[p].Root.Expr))
 	}
-	return lts.ExploreSource(&source{sys: s}, s.key(root), root, s.cfg.Limits)
+	s.mu.Unlock()
+	src := &source{sys: s}
+	if s.cfg.Parallel {
+		return lts.ExploreSourceParallel(src, s.key(root), root, s.cfg.Limits, s.cfg.Workers)
+	}
+	return lts.ExploreSource(src, s.key(root), root, s.cfg.Limits)
 }

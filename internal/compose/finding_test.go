@@ -43,9 +43,12 @@ ENDSPEC`
 		t.Fatal(err)
 	}
 	for _, capacity := range []int{1, 2, 4} {
+		// StringKeys: the readable legacy keys let the test inspect the
+		// channel contents of the deadlocked states below.
 		sys, err := New(d.Entities, Config{
 			ChannelCap: capacity,
 			Limits:     lts.Limits{MaxObsDepth: 5, MaxStates: 400000},
+			StringKeys: true,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -62,9 +65,10 @@ ENDSPEC`
 		}
 		// Every deadlocked state has a non-empty channel (a message stuck
 		// behind the FIFO head); at capacity >= 2 the canonical witness has
-		// the interrupt message queued behind the Rel message.
+		// the interrupt message queued behind the Rel message. In the
+		// legacy string keys a non-empty channel renders as ";slot=msgs".
 		for _, s := range dls {
-			if !strings.Contains(g.Keys[s], ">") || !strings.Contains(g.Keys[s], "=") {
+			if !strings.Contains(g.Keys[s], ";") || !strings.Contains(g.Keys[s], "=") {
 				t.Errorf("cap=%d: deadlock state %q has empty channels", capacity, g.Keys[s])
 			}
 		}

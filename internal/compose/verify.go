@@ -89,6 +89,12 @@ type VerifyOptions struct {
 	ObsDepth int
 	// MaxStates caps both explorations (default lts.DefaultMaxStates).
 	MaxStates int
+	// Parallel explores the composed product with the parallel explorer
+	// (see Config.Parallel); the service side stays serial (it is tiny by
+	// comparison).
+	Parallel bool
+	// Workers sizes the parallel worker pool (0 = GOMAXPROCS).
+	Workers int
 }
 
 // DefaultObsDepth is the default bounded-comparison depth.
@@ -113,7 +119,12 @@ func Verify(service *lotos.Spec, entities map[int]*lotos.Spec, opts VerifyOption
 	if err != nil {
 		return nil, fmt.Errorf("compose: exploring service: %w", err)
 	}
-	sys, err := New(entities, Config{ChannelCap: opts.ChannelCap, Limits: lim})
+	sys, err := New(entities, Config{
+		ChannelCap: opts.ChannelCap,
+		Limits:     lim,
+		Parallel:   opts.Parallel,
+		Workers:    opts.Workers,
+	})
 	if err != nil {
 		return nil, err
 	}

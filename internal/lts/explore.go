@@ -142,15 +142,27 @@ func exploreGeneric(src StateSource, rootKey string, root any, lim Limits) (*Gra
 		head := queue[0]
 		queue = queue[1:]
 		if expanded[head] {
-			// Re-expansion after an observable-depth improvement: only the
-			// successors' obsDepth needs refreshing.
+			// Re-expansion after a depth or observable-depth improvement:
+			// refresh the successors through the already-derived edges. Depth
+			// must be propagated alongside obsDepth: a state re-queued with a
+			// shorter transition distance would otherwise leave stale Depth
+			// values behind, and the MaxDepth truncation check would read
+			// them.
 			for _, e := range g.Edges[head] {
 				nd := obsDepth[head]
 				if e.Label.Observable() {
 					nd++
 				}
+				improved := false
 				if nd < obsDepth[e.To] {
 					obsDepth[e.To] = nd
+					improved = true
+				}
+				if d := g.Depth[head] + 1; d < g.Depth[e.To] {
+					g.Depth[e.To] = d
+					improved = true
+				}
+				if improved {
 					queue = append(queue, e.To)
 				}
 			}
@@ -179,8 +191,16 @@ func exploreGeneric(src StateSource, rootKey string, root any, lim Limits) (*Gra
 			}
 			if id, ok := index[t.Key]; ok {
 				g.Edges[head] = append(g.Edges[head], Edge{Label: t.Label, To: id})
+				improved := false
 				if nd < obsDepth[id] {
 					obsDepth[id] = nd
+					improved = true
+				}
+				if d := g.Depth[head] + 1; d < g.Depth[id] {
+					g.Depth[id] = d
+					improved = true
+				}
+				if improved {
 					queue = append(queue, id)
 				}
 				continue

@@ -75,6 +75,9 @@ type Stats struct {
 type queued struct {
 	msg     Message
 	visible time.Time
+	// notified records that the ticker already broadcast this message's
+	// visibility, so passing the same deadline never wakes waiters twice.
+	notified bool
 }
 
 // Medium is a concurrent reliable-FIFO medium. All methods are safe for
@@ -91,6 +94,13 @@ type Medium struct {
 	closed      bool
 	stats       Stats
 	cfg         Config
+	// wake nudges the ticker goroutine: a new message may have changed the
+	// earliest delivery deadline, or the medium closed. Buffered so signals
+	// coalesce and senders never block.
+	wake chan struct{}
+	// tickerScans counts ticker loop iterations (test instrumentation for
+	// the no-busy-poll guarantee).
+	tickerScans int
 }
 
 // New builds a medium.
@@ -100,6 +110,7 @@ func New(cfg Config) *Medium {
 		lastVisible: map[[2]int]time.Time{},
 		rng:         rand.New(rand.NewSource(cfg.Seed)),
 		cfg:         cfg,
+		wake:        make(chan struct{}, 1),
 	}
 	m.cond = sync.NewCond(&m.mu)
 	if cfg.MaxDelay > 0 {
@@ -108,27 +119,72 @@ func New(cfg Config) *Medium {
 	return m
 }
 
-// ticker periodically wakes waiters while delayed messages are pending:
-// the passage of time is a state change (a queued message may have become
-// visible), so the generation advances and WaitChange returns.
+// signalTicker nudges the ticker without blocking; signals coalesce.
+func (m *Medium) signalTicker() {
+	select {
+	case m.wake <- struct{}{}:
+	default:
+	}
+}
+
+// ticker wakes waiters exactly when a delayed message's visible deadline
+// passes: the passage of that deadline is a state change (the message has
+// become consumable), so the generation advances and WaitChange returns.
+// While no delayed message is pending the goroutine blocks on the wake
+// channel — an idle medium causes no wakeups at all — and it exits when the
+// medium closes.
 func (m *Medium) ticker() {
 	for {
 		m.mu.Lock()
+		m.tickerScans++
 		if m.closed {
 			m.mu.Unlock()
 			return
 		}
-		pending := 0
+		now := time.Now()
+		changed := false
+		var next time.Time
+		pending := false
 		for _, q := range m.queues {
-			pending += len(q)
+			for i := range q {
+				e := &q[i]
+				if e.visible.After(now) {
+					if !pending || e.visible.Before(next) {
+						next, pending = e.visible, true
+					}
+				} else if !e.notified {
+					e.notified = true
+					changed = true
+				}
+			}
 		}
-		if pending > 0 {
+		if changed {
 			m.gen++
 			m.cond.Broadcast()
 		}
 		m.mu.Unlock()
-		time.Sleep(m.cfg.MaxDelay / 4)
+		if !pending {
+			// Idle: every queued message (if any) is already visible and
+			// notified. Sleep until a send or Close changes the picture.
+			<-m.wake
+			continue
+		}
+		t := time.NewTimer(time.Until(next))
+		select {
+		case <-m.wake:
+			// A new message (possibly with an earlier deadline) arrived,
+			// or the medium closed: recompute under the mutex.
+			t.Stop()
+		case <-t.C:
+		}
 	}
+}
+
+// tickerScanCount returns the number of ticker wakeups so far (tests).
+func (m *Medium) tickerScanCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.tickerScans
 }
 
 // Send enqueues a message (or drops it, per LossRate). It never blocks:
@@ -154,9 +210,13 @@ func (m *Medium) Send(msg Message) {
 		m.lastVisible[key] = visible
 	}
 	key := [2]int{msg.From, msg.To}
-	m.queues[key] = append(m.queues[key], queued{msg: msg, visible: visible})
+	// Messages visible on arrival need no further ticker notification.
+	m.queues[key] = append(m.queues[key], queued{msg: msg, visible: visible, notified: !visible.After(time.Now())})
 	m.gen++
 	m.cond.Broadcast()
+	if m.cfg.MaxDelay > 0 {
+		m.signalTicker()
+	}
 }
 
 // TryConsume removes and returns true when the wanted message is at the
@@ -301,6 +361,7 @@ func (m *Medium) Close() {
 	defer m.mu.Unlock()
 	m.closed = true
 	m.cond.Broadcast()
+	m.signalTicker()
 }
 
 // Closed reports whether Close was called.

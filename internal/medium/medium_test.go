@@ -170,3 +170,59 @@ func TestReliableFlushConsume(t *testing.T) {
 		t.Error("flush of absent message succeeded")
 	}
 }
+
+// TestTickerIdleNoWakeups pins the fix for the delay ticker busy-polling:
+// on an empty medium the ticker goroutine performs at most its initial scan
+// and then blocks until a send or Close, instead of waking on a fixed
+// period forever.
+func TestTickerIdleNoWakeups(t *testing.T) {
+	m := New(Config{MaxDelay: 2 * time.Millisecond, Seed: 1})
+	defer m.Close()
+	// Long compared to MaxDelay: a periodic ticker would scan many times.
+	time.Sleep(30 * time.Millisecond)
+	if n := m.tickerScanCount(); n > 1 {
+		t.Errorf("idle medium: %d ticker scans, want at most the initial one", n)
+	}
+}
+
+// TestTickerWakesOnDeadline checks that a delayed message still becomes
+// visible (the deadline-based ticker advances the generation) and that the
+// ticker settles once everything queued has been notified.
+func TestTickerWakesOnDeadline(t *testing.T) {
+	m := New(Config{MaxDelay: 3 * time.Millisecond, Seed: 42})
+	defer m.Close()
+	gen := m.Generation()
+	m.Send(msg(1, 2, 5))
+	deadline := time.Now().Add(2 * time.Second)
+	for !m.TryConsumeCheck(msg(1, 2, 5)) {
+		if time.Now().After(deadline) {
+			t.Fatal("delayed message never became visible")
+		}
+		gen = m.WaitChange(gen)
+	}
+	if !m.TryConsume(msg(1, 2, 5)) {
+		t.Fatal("visible message not consumable")
+	}
+	// After the message is notified and consumed the medium is idle again:
+	// the scan count must stop growing.
+	time.Sleep(10 * time.Millisecond)
+	before := m.tickerScanCount()
+	time.Sleep(20 * time.Millisecond)
+	if after := m.tickerScanCount(); after != before {
+		t.Errorf("idle-after-delivery medium kept scanning: %d -> %d", before, after)
+	}
+}
+
+// TestTickerExitsOnClose checks the ticker goroutine terminates when the
+// medium closes (scan count stops advancing even with a message pending).
+func TestTickerExitsOnClose(t *testing.T) {
+	m := New(Config{MaxDelay: time.Hour, Seed: 7})
+	m.Send(msg(1, 2, 9)) // far-future deadline keeps a naive ticker alive
+	m.Close()
+	time.Sleep(5 * time.Millisecond)
+	before := m.tickerScanCount()
+	time.Sleep(20 * time.Millisecond)
+	if after := m.tickerScanCount(); after != before {
+		t.Errorf("ticker still scanning after Close: %d -> %d", before, after)
+	}
+}

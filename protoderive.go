@@ -191,11 +191,20 @@ func (p *Protocol) ComplexityTable() string {
 }
 
 // VerifyOptions tunes Verify. The zero value (or nil) selects defaults:
-// channel capacity 1, observable depth 8, default state cap.
+// channel capacity 1, observable depth 8, default state cap, serial
+// exploration.
 type VerifyOptions struct {
 	ChannelCap int
 	ObsDepth   int
 	MaxStates  int
+	// Parallel explores the composed product state space with the
+	// parallel frontier-at-a-time explorer (one worker per CPU by
+	// default). The verdict is unchanged — the parallel explorer produces
+	// a graph with the same state keys and weakly bisimilar behaviour —
+	// but large compositions finish faster on multi-core hosts.
+	Parallel bool
+	// Workers overrides the parallel worker-pool size (0 = GOMAXPROCS).
+	Workers int
 }
 
 // VerifyReport is the verification verdict for the Section-5 correctness
@@ -231,6 +240,8 @@ func (p *Protocol) Verify(opts *VerifyOptions) (*VerifyReport, error) {
 		ChannelCap: o.ChannelCap,
 		ObsDepth:   o.ObsDepth,
 		MaxStates:  o.MaxStates,
+		Parallel:   o.Parallel,
+		Workers:    o.Workers,
 	})
 	if err != nil {
 		return nil, err
@@ -346,6 +357,8 @@ func (p *Protocol) Optimize(opts *VerifyOptions) (*OptimizeReport, error) {
 		ChannelCap: o.ChannelCap,
 		ObsDepth:   o.ObsDepth,
 		MaxStates:  o.MaxStates,
+		Parallel:   o.Parallel,
+		Workers:    o.Workers,
 	})
 	if err != nil {
 		return nil, err

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-baseline
+.PHONY: build test check fuzz-smoke run-pgd bench bench-baseline bench-server
 
 build:
 	$(GO) build ./...
@@ -9,11 +9,23 @@ test:
 	$(GO) test ./...
 
 # check is the concurrency tier: vet plus the race detector over the
-# packages that exercise goroutines (the runtime, the medium and the
-# parallel explorer).
+# packages that exercise goroutines (the runtime, the medium, the parallel
+# explorer and the daemon), plus a short fuzz smoke of the two native
+# fuzz targets.
 check:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/sim/ ./internal/medium/ ./internal/compose/ ./internal/lts/
+	$(GO) test -race ./internal/sim/ ./internal/medium/ ./internal/compose/ ./internal/lts/ ./internal/service/ ./cmd/pgd/
+	$(MAKE) fuzz-smoke
+
+# fuzz-smoke runs each native fuzz target briefly; long fuzzing sessions
+# use `go test -fuzz` directly with a bigger -fuzztime.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime 5s ./internal/lotos
+	$(GO) test -run '^$$' -fuzz '^FuzzDerive$$' -fuzztime 5s .
+
+# run-pgd starts the derivation daemon on :8080 (override with ARGS).
+run-pgd:
+	$(GO) run ./cmd/pgd $(ARGS)
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
@@ -22,3 +34,9 @@ bench:
 # the per-PR performance record (see BENCH_PR1.json).
 bench-baseline:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -json . | tee BENCH_PR1.json
+
+# bench-server records the daemon's end-to-end numbers — cold vs cached
+# derive throughput and concurrent-verify latency percentiles — as the
+# PR 2 performance record.
+bench-server:
+	$(GO) test -run '^$$' -bench '^BenchmarkServer' -json ./internal/service | tee BENCH_PR2.json

@@ -1,0 +1,141 @@
+// Command pgd is the protocol-derivation daemon: a resident HTTP service
+// over the protoderive pipeline. Where pg/verify re-derive from scratch on
+// every invocation, pgd keeps a content-addressed cache of finished
+// derivations, verifications and explorations, collapses concurrent
+// identical requests into one computation, and bounds concurrency with
+// per-class worker pools.
+//
+// Usage:
+//
+//	pgd [flags]
+//
+// Flags:
+//
+//	-addr :8080         listen address
+//	-cache 256          result-cache entries
+//	-deadline 30s       synchronous request deadline (queueing included)
+//	-job-deadline 10m   async job deadline
+//	-job-ttl 10m        finished async jobs stay retrievable this long
+//	-max-jobs 1024      async job population cap
+//	-derive-workers 0   derive/explore pool size (0 = GOMAXPROCS)
+//	-verify-workers 0   verify pool size (0 = GOMAXPROCS)
+//
+// Endpoints: POST /v1/derive, POST /v1/verify (add ?async=1 for a job),
+// POST /v1/explore, GET /v1/jobs/{id}, GET /healthz, GET /metrics.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/service"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil))
+}
+
+// run parses flags, binds the listener and serves until a termination
+// signal arrives. When ready is non-nil, the bound address is sent on it
+// once the listener is up (the tests use this to talk to a live daemon on
+// an ephemeral port) and the daemon also stops when ready's context-like
+// companion channel stop is closed — see serveUntil.
+func run(args []string, stdout, stderr io.Writer, ready chan<- serverHandle) int {
+	fs := flag.NewFlagSet("pgd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":8080", "listen address")
+	cacheEntries := fs.Int("cache", 256, "result-cache entries")
+	deadline := fs.Duration("deadline", 30*time.Second, "synchronous request deadline")
+	jobDeadline := fs.Duration("job-deadline", 10*time.Minute, "async job deadline")
+	jobTTL := fs.Duration("job-ttl", 10*time.Minute, "finished-job retention")
+	maxJobs := fs.Int("max-jobs", 1024, "async job population cap")
+	deriveWorkers := fs.Int("derive-workers", 0, "derive/explore pool size (0 = GOMAXPROCS)")
+	verifyWorkers := fs.Int("verify-workers", 0, "verify pool size (0 = GOMAXPROCS)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: pgd [flags]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return cli.ExitUsage
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "pgd: unexpected argument %q\n", fs.Arg(0))
+		return cli.ExitUsage
+	}
+
+	handler := service.New(service.Config{
+		DeriveWorkers: *deriveWorkers,
+		VerifyWorkers: *verifyWorkers,
+		CacheEntries:  *cacheEntries,
+		SyncDeadline:  *deadline,
+		JobDeadline:   *jobDeadline,
+		JobTTL:        *jobTTL,
+		MaxJobs:       *maxJobs,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "pgd:", err)
+		return cli.ExitFail
+	}
+	fmt.Fprintf(stdout, "pgd: listening on %s\n", ln.Addr())
+
+	stop := make(chan struct{})
+	if ready != nil {
+		ready <- serverHandle{Addr: ln.Addr().String(), Stop: stop}
+	}
+	if err := serveUntil(ln, handler, stop, stdout); err != nil {
+		fmt.Fprintln(stderr, "pgd:", err)
+		return cli.ExitFail
+	}
+	fmt.Fprintln(stdout, "pgd: bye")
+	return cli.ExitOK
+}
+
+// serverHandle lets a test reach a running daemon and shut it down.
+type serverHandle struct {
+	Addr string
+	Stop chan struct{}
+}
+
+// serveUntil serves on the listener until SIGINT/SIGTERM or a close of
+// stop, then drains in-flight requests (bounded grace period).
+func serveUntil(ln net.Listener, handler http.Handler, stop <-chan struct{}, stdout io.Writer) error {
+	srv := &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-sig:
+		fmt.Fprintln(stdout, "pgd: shutting down")
+	case <-stop:
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return err
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cli"
+)
+
+func TestBadFlagExitsUsage(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-bogus"}, &out, &errb, nil); code != cli.ExitUsage {
+		t.Errorf("exit code %d, want %d", code, cli.ExitUsage)
+	}
+}
+
+func TestUnexpectedArgumentExitsUsage(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"spec.spec"}, &out, &errb, nil); code != cli.ExitUsage {
+		t.Errorf("exit code %d, want %d", code, cli.ExitUsage)
+	}
+	if !strings.Contains(errb.String(), "unexpected argument") {
+		t.Errorf("stderr = %q", errb.String())
+	}
+}
+
+func TestBadAddressExitsFail(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-addr", "256.256.256.256:http"}, &out, &errb, nil); code != cli.ExitFail {
+		t.Errorf("exit code %d, want %d", code, cli.ExitFail)
+	}
+}
+
+// TestDaemonEndToEnd boots the real daemon on an ephemeral port, drives a
+// derive request and the health/metrics endpoints over real TCP, and shuts
+// it down cleanly.
+func TestDaemonEndToEnd(t *testing.T) {
+	ready := make(chan serverHandle, 1)
+	var out, errb bytes.Buffer
+	code := make(chan int, 1)
+	go func() { code <- run([]string{"-addr", "127.0.0.1:0", "-deadline", "10s"}, &out, &errb, ready) }()
+
+	var h serverHandle
+	select {
+	case h = <-ready:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("daemon did not come up; stderr: %s", errb.String())
+	}
+	base := "http://" + h.Addr
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz status %d", resp.StatusCode)
+	}
+
+	body, _ := json.Marshal(map[string]any{"spec": "SPEC a1; b2; exit ENDSPEC"})
+	resp, err = http.Post(base+"/v1/derive", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var derived struct {
+		Entities map[string]string `json:"entities"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&derived); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(derived.Entities) != 2 {
+		t.Errorf("entities = %v", derived.Entities)
+	}
+
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var page struct {
+		Cache struct {
+			Misses uint64 `json:"misses"`
+		} `json:"cache"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if page.Cache.Misses != 1 {
+		t.Errorf("cache misses = %d, want 1", page.Cache.Misses)
+	}
+
+	close(h.Stop)
+	select {
+	case c := <-code:
+		if c != cli.ExitOK {
+			t.Errorf("exit code %d; stderr: %s", c, errb.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+	if !strings.Contains(out.String(), "listening on") {
+		t.Errorf("stdout = %q", out.String())
+	}
+}

@@ -1,0 +1,56 @@
+package protoderive
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// FuzzDerive pushes arbitrary input through the full facade pipeline:
+// parse, validate, derive, render. Two things may never happen, whatever
+// the fuzzer finds: a panic escaping the facade, and a recovered internal
+// panic (which guard() converts into a marked error — the fuzzer treats
+// that marker as a bug too, so panic sites inside the library are still
+// discoverable).
+func FuzzDerive(f *testing.F) {
+	matches, err := filepath.Glob(filepath.Join("specs", "*.spec"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if len(matches) == 0 {
+		f.Fatal("no seed specs found under specs/")
+	}
+	for _, m := range matches {
+		data, err := os.ReadFile(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(data))
+	}
+	f.Add("SPEC a1; b2; exit ENDSPEC")
+	f.Add("SPEC a1; exit [] b2; exit ENDSPEC") // R1 violation: must error, not panic
+	f.Add("SPEC hide g in (a1; g; exit ||| g; b2; exit) ENDSPEC")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		svc, err := ParseService(src)
+		if err != nil {
+			failOnInternal(t, src, err)
+			return
+		}
+		proto, err := svc.Derive()
+		if err != nil {
+			failOnInternal(t, src, err)
+			return
+		}
+		_ = proto.Render()
+		_ = proto.MessageCount()
+	})
+}
+
+func failOnInternal(t *testing.T, src string, err error) {
+	t.Helper()
+	if strings.Contains(err.Error(), "internal error") {
+		t.Fatalf("input triggered a recovered panic: %v\ninput: %q", err, src)
+	}
+}

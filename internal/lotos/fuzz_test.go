@@ -1,0 +1,62 @@
+package lotos
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// seedCorpus feeds every checked-in service specification plus a few
+// hand-picked grammar corners to the fuzzer.
+func seedCorpus(f *testing.F) {
+	matches, err := filepath.Glob(filepath.Join("..", "..", "specs", "*.spec"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if len(matches) == 0 {
+		f.Fatal("no seed specs found under specs/")
+	}
+	for _, m := range matches {
+		data, err := os.ReadFile(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(data))
+	}
+	for _, s := range []string{
+		"SPEC a1; b2; exit ENDSPEC",
+		"SPEC hide g in (a1; g; exit ||| g; b2; exit) ENDSPEC",
+		"SPEC P WHERE PROC P = a1; P END ENDSPEC",
+		"SPEC (a1; exit [] b1; stop) |[x]| x; exit ENDSPEC",
+		"SPEC a1; exit >> b2; exit [> c3; stop ENDSPEC",
+		"SPEC",
+		"",
+	} {
+		f.Add(s)
+	}
+}
+
+// FuzzParse checks the printer/parser round trip on every grammatical
+// input the fuzzer discovers: print(parse(src)) must re-parse to a
+// structurally equal specification, and printing must be idempotent.
+// Ungrammatical inputs must produce an error, never a panic.
+func FuzzParse(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, src string) {
+		sp, err := Parse(src)
+		if err != nil {
+			return // rejected input: error (not panic) is the contract
+		}
+		printed := sp.String()
+		back, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("printed form does not re-parse: %v\ninput: %q\nprinted:\n%s", err, src, printed)
+		}
+		if !EqualSpec(sp, back) {
+			t.Fatalf("round trip is not structure-preserving\ninput: %q\nprinted:\n%s", src, printed)
+		}
+		if again := back.String(); again != printed {
+			t.Fatalf("printing is not idempotent\nfirst:\n%s\nsecond:\n%s", printed, again)
+		}
+	})
+}

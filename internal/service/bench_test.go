@@ -1,0 +1,136 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// The server benchmarks are the BENCH_PR2.json baseline: cold vs cached
+// derive throughput and concurrent-verify latency percentiles, measured
+// end to end through httptest (real HTTP, JSON marshalling included).
+// Regenerate with `make bench-server`.
+
+// benchSpec encodes n into event names using letters only (trailing digits
+// would change the place), yielding arbitrarily many distinct specs.
+func benchSpec(n int) string {
+	name := "ev"
+	for v := n; ; v = v / 26 {
+		name += string(rune('a' + v%26))
+		if v < 26 {
+			break
+		}
+	}
+	return fmt.Sprintf("SPEC %s1; %s2; exit ENDSPEC", name, name)
+}
+
+func benchPost(b *testing.B, client *http.Client, url string, body any) *http.Response {
+	b.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		b.Fatal(err)
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("status %d", resp.StatusCode)
+	}
+	return resp
+}
+
+func drain(b *testing.B, resp *http.Response) {
+	b.Helper()
+	var sink json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&sink); err != nil {
+		b.Fatal(err)
+	}
+	resp.Body.Close()
+}
+
+// BenchmarkServerDeriveCold posts a distinct spec on every iteration: every
+// request misses the cache and runs a full parse+derive. The req/s metric
+// is the cold-path throughput.
+func BenchmarkServerDeriveCold(b *testing.B) {
+	ts := httptest.NewServer(New(Config{CacheEntries: 1 << 20}))
+	defer ts.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		drain(b, benchPost(b, ts.Client(), ts.URL+"/v1/derive", DeriveRequest{Spec: benchSpec(i)}))
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}
+
+// BenchmarkServerDeriveCached posts the same spec on every iteration: after
+// the first, every request is a content-addressed cache hit.
+func BenchmarkServerDeriveCached(b *testing.B) {
+	ts := httptest.NewServer(New(Config{}))
+	defer ts.Close()
+	spec := benchSpec(0)
+	drain(b, benchPost(b, ts.Client(), ts.URL+"/v1/derive", DeriveRequest{Spec: spec})) // warm
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		drain(b, benchPost(b, ts.Client(), ts.URL+"/v1/derive", DeriveRequest{Spec: spec}))
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}
+
+// BenchmarkServerVerifyConcurrent drives the verify endpoint from 32
+// concurrent clients over a rotating set of 8 distinct specs (so both the
+// cache and the verify pool are exercised) and reports client-observed
+// latency percentiles alongside throughput.
+func BenchmarkServerVerifyConcurrent(b *testing.B) {
+	ts := httptest.NewServer(New(Config{}))
+	defer ts.Close()
+	const lanes = 32
+	opts := VerifyRequestOptions{ObsDepth: 4}
+
+	var mu sync.Mutex
+	var lat []time.Duration
+	var idx int64
+	b.SetParallelism(lanes) // lanes × GOMAXPROCS-derived default workers
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		client := ts.Client()
+		var local []time.Duration
+		for pb.Next() {
+			mu.Lock()
+			i := idx
+			idx++
+			mu.Unlock()
+			t0 := time.Now()
+			drain(b, benchPost(b, client, ts.URL+"/v1/verify", VerifyRequest{
+				Spec: benchSpec(int(i % 8)), Options: opts,
+			}))
+			local = append(local, time.Since(t0))
+		}
+		mu.Lock()
+		lat = append(lat, local...)
+		mu.Unlock()
+	})
+	b.StopTimer()
+	if len(lat) == 0 {
+		return
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pct := func(q float64) float64 {
+		i := int(q * float64(len(lat)))
+		if i >= len(lat) {
+			i = len(lat) - 1
+		}
+		return float64(lat[i].Nanoseconds()) / 1e6
+	}
+	b.ReportMetric(float64(len(lat))/b.Elapsed().Seconds(), "req/s")
+	b.ReportMetric(pct(0.50), "p50-ms")
+	b.ReportMetric(pct(0.95), "p95-ms")
+	b.ReportMetric(pct(0.99), "p99-ms")
+}

@@ -1,0 +1,155 @@
+package service
+
+import (
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+)
+
+// CacheKey builds the content address of one computation: the SHA-256 of
+// the request kind (endpoint), the *normalized* specification text and the
+// option fingerprint. Callers pass the pretty-printed form of the parsed
+// spec, so two textually different but structurally identical inputs —
+// whitespace, comments, redundant parentheses — share one entry.
+func CacheKey(kind, normalizedSpec, fingerprint string) string {
+	h := sha256.New()
+	h.Write([]byte(kind))
+	h.Write([]byte{0})
+	h.Write([]byte(normalizedSpec))
+	h.Write([]byte{0})
+	h.Write([]byte(fingerprint))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// CacheStats is a point-in-time snapshot of the cache counters.
+type CacheStats struct {
+	// Hits counts lookups answered from a stored entry.
+	Hits uint64 `json:"hits"`
+	// Misses counts lookups that ran the computation. Under singleflight
+	// this equals the number of distinct computations performed.
+	Misses uint64 `json:"misses"`
+	// SharedWaits counts lookups that joined an in-flight computation for
+	// the same key instead of starting their own — the singleflight
+	// collapse counter.
+	SharedWaits uint64 `json:"sharedWaits"`
+	// Evictions counts LRU evictions.
+	Evictions uint64 `json:"evictions"`
+	// Entries is the current number of stored entries.
+	Entries int `json:"entries"`
+}
+
+// call is one in-flight computation; waiters block on done.
+type call struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+type cacheEntry struct {
+	key string
+	val any
+}
+
+// Cache is a bounded LRU cache with singleflight deduplication: concurrent
+// Do calls for the same key while a computation is in flight share its one
+// result. Successful results are stored; errors are returned to every
+// waiter but never cached (a transient failure must not poison the key).
+type Cache struct {
+	mu      sync.Mutex
+	max     int
+	ll      *list.List // front = most recently used; values are *cacheEntry
+	entries map[string]*list.Element
+	calls   map[string]*call
+	stats   CacheStats
+}
+
+// NewCache returns a cache bounded to max entries (max <= 0 selects 256).
+func NewCache(max int) *Cache {
+	if max <= 0 {
+		max = 256
+	}
+	return &Cache{
+		max:     max,
+		ll:      list.New(),
+		entries: map[string]*list.Element{},
+		calls:   map[string]*call{},
+	}
+}
+
+// Outcome classifies how a Do call was answered, for response metadata and
+// the load-test assertions.
+type Outcome int
+
+const (
+	// OutcomeComputed: this call ran the computation.
+	OutcomeComputed Outcome = iota
+	// OutcomeHit: answered from a stored entry.
+	OutcomeHit
+	// OutcomeShared: joined another caller's in-flight computation.
+	OutcomeShared
+)
+
+// Do returns the cached value for key, joining an in-flight computation for
+// the same key if one exists, and otherwise running compute. compute is
+// invoked without the cache lock held. A caller joining an in-flight
+// computation stops waiting when its context expires (the computation
+// itself continues for the caller that started it).
+func (c *Cache) Do(ctx context.Context, key string, compute func() (any, error)) (any, Outcome, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		c.stats.Hits++
+		val := el.Value.(*cacheEntry).val
+		c.mu.Unlock()
+		return val, OutcomeHit, nil
+	}
+	if cl, ok := c.calls[key]; ok {
+		c.stats.SharedWaits++
+		c.mu.Unlock()
+		select {
+		case <-cl.done:
+			return cl.val, OutcomeShared, cl.err
+		case <-ctx.Done():
+			return nil, OutcomeShared, ctx.Err()
+		}
+	}
+	cl := &call{done: make(chan struct{})}
+	c.calls[key] = cl
+	c.stats.Misses++
+	c.mu.Unlock()
+
+	cl.val, cl.err = compute()
+	close(cl.done)
+
+	c.mu.Lock()
+	delete(c.calls, key)
+	if cl.err == nil {
+		if el, ok := c.entries[key]; ok {
+			// Another computation stored the key first (possible when an
+			// errored call was retried while waiters drained); refresh it.
+			el.Value.(*cacheEntry).val = cl.val
+			c.ll.MoveToFront(el)
+		} else {
+			c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, val: cl.val})
+			for c.ll.Len() > c.max {
+				oldest := c.ll.Back()
+				c.ll.Remove(oldest)
+				delete(c.entries, oldest.Value.(*cacheEntry).key)
+				c.stats.Evictions++
+			}
+		}
+	}
+	c.mu.Unlock()
+	return cl.val, OutcomeComputed, cl.err
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.stats
+	st.Entries = c.ll.Len()
+	return st
+}

@@ -1,0 +1,207 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCacheKeyNormalization(t *testing.T) {
+	a := CacheKey("derive", "SPEC a1; exit ENDSPEC", "opts")
+	b := CacheKey("derive", "SPEC a1; exit ENDSPEC", "opts")
+	if a != b {
+		t.Error("identical inputs produced different keys")
+	}
+	if CacheKey("verify", "SPEC a1; exit ENDSPEC", "opts") == a {
+		t.Error("kind does not separate key spaces")
+	}
+	if CacheKey("derive", "SPEC a1; exit ENDSPEC", "other") == a {
+		t.Error("fingerprint does not separate key spaces")
+	}
+	// The separator byte must prevent boundary ambiguity.
+	if CacheKey("a", "bc", "d") == CacheKey("ab", "c", "d") {
+		t.Error("component boundaries are ambiguous")
+	}
+}
+
+func TestCacheHitSkipsRecomputation(t *testing.T) {
+	c := NewCache(8)
+	ctx := context.Background()
+	computes := 0
+	compute := func() (any, error) { computes++; return 42, nil }
+	v, outcome, err := c.Do(ctx, "k", compute)
+	if err != nil || v.(int) != 42 || outcome != OutcomeComputed {
+		t.Fatalf("first Do: v=%v outcome=%v err=%v", v, outcome, err)
+	}
+	v, outcome, err = c.Do(ctx, "k", compute)
+	if err != nil || v.(int) != 42 || outcome != OutcomeHit {
+		t.Fatalf("second Do: v=%v outcome=%v err=%v", v, outcome, err)
+	}
+	if computes != 1 {
+		t.Errorf("computed %d times, want 1", computes)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestCacheSingleflightCollapse deterministically pins the collapse: the
+// first computation parks until every concurrent caller for the same key
+// is known to be waiting on it, then completes; every caller must get the
+// one computed value and exactly one computation must have run.
+func TestCacheSingleflightCollapse(t *testing.T) {
+	const waiters = 16
+	c := NewCache(8)
+	ctx := context.Background()
+	gate := make(chan struct{})
+	computes := 0
+
+	results := make(chan int, waiters+1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v, _, err := c.Do(ctx, "k", func() (any, error) {
+			computes++
+			<-gate
+			return 7, nil
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		results <- v.(int)
+	}()
+
+	// Wait for the computation to be registered, then pile on the waiters.
+	for c.Stats().Misses == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, outcome, err := c.Do(ctx, "k", func() (any, error) {
+				t.Error("a waiter ran its own computation")
+				return nil, nil
+			})
+			if err != nil || outcome != OutcomeShared {
+				t.Errorf("waiter: outcome=%v err=%v", outcome, err)
+				return
+			}
+			results <- v.(int)
+		}()
+	}
+	// All waiters must be parked on the in-flight call before it finishes.
+	for c.Stats().SharedWaits != waiters {
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	wg.Wait()
+	close(results)
+	n := 0
+	for v := range results {
+		n++
+		if v != 7 {
+			t.Errorf("result %d, want 7", v)
+		}
+	}
+	if n != waiters+1 {
+		t.Errorf("%d results, want %d", n, waiters+1)
+	}
+	if computes != 1 {
+		t.Errorf("%d computations, want 1", computes)
+	}
+}
+
+func TestCacheErrorsAreNotCached(t *testing.T) {
+	c := NewCache(8)
+	ctx := context.Background()
+	boom := errors.New("boom")
+	_, _, err := c.Do(ctx, "k", func() (any, error) { return nil, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("errored computation was cached: %+v", st)
+	}
+	v, outcome, err := c.Do(ctx, "k", func() (any, error) { return 1, nil })
+	if err != nil || v.(int) != 1 || outcome != OutcomeComputed {
+		t.Fatalf("retry after error: v=%v outcome=%v err=%v", v, outcome, err)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	ctx := context.Background()
+	put := func(k string) {
+		if _, _, err := c.Do(ctx, k, func() (any, error) { return k, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put("a")
+	put("b")
+	put("a") // refresh a: b is now least recently used
+	put("c") // evicts b
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	recomputed := false
+	c.Do(ctx, "b", func() (any, error) { recomputed = true; return "b", nil })
+	if !recomputed {
+		t.Error("evicted key was still cached")
+	}
+	// Re-inserting b evicted the then-LRU "a"; "c" must still be resident.
+	if _, outcome, _ := c.Do(ctx, "c", func() (any, error) { return nil, nil }); outcome != OutcomeHit {
+		t.Error("recently used key was evicted")
+	}
+}
+
+func TestCacheSharedWaiterHonorsContext(t *testing.T) {
+	c := NewCache(8)
+	gate := make(chan struct{})
+	go c.Do(context.Background(), "k", func() (any, error) {
+		<-gate
+		return 1, nil
+	})
+	for c.Stats().Misses == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, outcome, err := c.Do(ctx, "k", func() (any, error) { return nil, nil })
+	if !errors.Is(err, context.DeadlineExceeded) || outcome != OutcomeShared {
+		t.Errorf("outcome=%v err=%v, want shared wait aborted by deadline", outcome, err)
+	}
+	close(gate)
+}
+
+func TestCacheConcurrentDistinctKeys(t *testing.T) {
+	c := NewCache(128)
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			k := fmt.Sprintf("k%d", i%8)
+			v, _, err := c.Do(ctx, k, func() (any, error) { return k, nil })
+			if err != nil || v.(string) != k {
+				t.Errorf("k=%s v=%v err=%v", k, v, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Misses != 8 {
+		t.Errorf("misses = %d, want 8 (one per distinct key)", st.Misses)
+	}
+	if st.Hits+st.Misses+st.SharedWaits != 64 {
+		t.Errorf("outcomes do not add up: %+v", st)
+	}
+}

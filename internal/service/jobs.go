@@ -1,0 +1,184 @@
+package service
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// JobState is the lifecycle phase of an async job.
+type JobState string
+
+const (
+	// JobQueued: accepted, waiting for a worker slot.
+	JobQueued JobState = "queued"
+	// JobRunning: computation in progress.
+	JobRunning JobState = "running"
+	// JobDone: finished successfully; Result holds the response.
+	JobDone JobState = "done"
+	// JobFailed: finished with an error; Error holds the message.
+	JobFailed JobState = "failed"
+)
+
+// Job is the JSON snapshot of one async job. State-space explorations that
+// exceed the synchronous deadline run as jobs: the client gets an id
+// immediately and polls GET /v1/jobs/{id}.
+type Job struct {
+	ID       string    `json:"id"`
+	Kind     string    `json:"kind"`
+	State    JobState  `json:"state"`
+	Created  time.Time `json:"created"`
+	Started  time.Time `json:"started,omitempty"`
+	Finished time.Time `json:"finished,omitempty"`
+	Result   any       `json:"result,omitempty"`
+	Error    string    `json:"error,omitempty"`
+}
+
+func (j *Job) terminal() bool { return j.State == JobDone || j.State == JobFailed }
+
+// JobStats is the JSON snapshot of the store's counters.
+type JobStats struct {
+	Created  uint64 `json:"created"`
+	Finished uint64 `json:"finished"`
+	Failed   uint64 `json:"failed"`
+	Evicted  uint64 `json:"evicted"`
+	Live     int    `json:"live"`
+}
+
+// JobStore tracks async jobs. Terminal jobs are kept for a TTL after
+// completion so clients can fetch their result, then evicted; the total
+// population is additionally capped (oldest terminal jobs go first).
+type JobStore struct {
+	mu    sync.Mutex
+	jobs  map[string]*Job
+	order []string // creation order, for capped eviction
+	ttl   time.Duration
+	max   int
+	stats JobStats
+	now   func() time.Time // test seam
+}
+
+// NewJobStore returns a store evicting terminal jobs ttl after completion
+// (ttl <= 0 selects 10 minutes) and capping the live population at max
+// (max <= 0 selects 1024).
+func NewJobStore(ttl time.Duration, max int) *JobStore {
+	if ttl <= 0 {
+		ttl = 10 * time.Minute
+	}
+	if max <= 0 {
+		max = 1024
+	}
+	return &JobStore{jobs: map[string]*Job{}, ttl: ttl, max: max, now: time.Now}
+}
+
+func newJobID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("service: reading random job id: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Create registers a new queued job and returns its id.
+func (s *JobStore) Create(kind string) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sweepLocked()
+	id := newJobID()
+	for s.jobs[id] != nil { // vanishingly unlikely; loop for correctness
+		id = newJobID()
+	}
+	s.jobs[id] = &Job{ID: id, Kind: kind, State: JobQueued, Created: s.now()}
+	s.order = append(s.order, id)
+	s.stats.Created++
+	return id
+}
+
+// Start marks a job running.
+func (s *JobStore) Start(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j := s.jobs[id]; j != nil && j.State == JobQueued {
+		j.State = JobRunning
+		j.Started = s.now()
+	}
+}
+
+// Finish records a job's outcome.
+func (s *JobStore) Finish(id string, result any, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.jobs[id]
+	if j == nil || j.terminal() {
+		return
+	}
+	j.Finished = s.now()
+	if err != nil {
+		j.State = JobFailed
+		j.Error = err.Error()
+		s.stats.Failed++
+	} else {
+		j.State = JobDone
+		j.Result = result
+	}
+	s.stats.Finished++
+}
+
+// Get returns a snapshot of the job (by value: the caller cannot race with
+// later state changes).
+func (s *JobStore) Get(id string) (Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sweepLocked()
+	j := s.jobs[id]
+	if j == nil {
+		return Job{}, false
+	}
+	return *j, true
+}
+
+// Stats returns a snapshot of the counters.
+func (s *JobStore) Stats() JobStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sweepLocked()
+	st := s.stats
+	st.Live = len(s.jobs)
+	return st
+}
+
+// sweepLocked evicts terminal jobs past their TTL, and — when the
+// population still exceeds the cap — the oldest terminal jobs. Queued and
+// running jobs are never evicted.
+func (s *JobStore) sweepLocked() {
+	cutoff := s.now().Add(-s.ttl)
+	evict := func(id string, j *Job) bool {
+		return j != nil && j.terminal() && j.Finished.Before(cutoff)
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		if evict(id, s.jobs[id]) {
+			delete(s.jobs, id)
+			s.stats.Evicted++
+		} else if s.jobs[id] != nil {
+			kept = append(kept, id)
+		}
+	}
+	s.order = kept
+	if len(s.jobs) <= s.max {
+		return
+	}
+	kept = s.order[:0]
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if len(s.jobs) > s.max && j.terminal() {
+			delete(s.jobs, id)
+			s.stats.Evicted++
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}

@@ -1,0 +1,110 @@
+package service
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestJobLifecycle(t *testing.T) {
+	s := NewJobStore(time.Minute, 16)
+	id := s.Create("verify")
+	j, ok := s.Get(id)
+	if !ok || j.State != JobQueued || j.Kind != "verify" || j.Created.IsZero() {
+		t.Fatalf("after Create: %+v ok=%v", j, ok)
+	}
+	s.Start(id)
+	if j, _ = s.Get(id); j.State != JobRunning || j.Started.IsZero() {
+		t.Fatalf("after Start: %+v", j)
+	}
+	s.Finish(id, "result", nil)
+	j, _ = s.Get(id)
+	if j.State != JobDone || j.Result.(string) != "result" || j.Finished.IsZero() {
+		t.Fatalf("after Finish: %+v", j)
+	}
+	// A second Finish must not overwrite the terminal state.
+	s.Finish(id, nil, errors.New("late error"))
+	if j, _ = s.Get(id); j.State != JobDone || j.Error != "" {
+		t.Fatalf("terminal state overwritten: %+v", j)
+	}
+}
+
+func TestJobFailure(t *testing.T) {
+	s := NewJobStore(time.Minute, 16)
+	id := s.Create("verify")
+	s.Start(id)
+	s.Finish(id, nil, errors.New("kaput"))
+	j, _ := s.Get(id)
+	if j.State != JobFailed || j.Error != "kaput" || j.Result != nil {
+		t.Fatalf("failed job: %+v", j)
+	}
+	st := s.Stats()
+	if st.Created != 1 || st.Finished != 1 || st.Failed != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestJobUnknownID(t *testing.T) {
+	s := NewJobStore(time.Minute, 16)
+	if _, ok := s.Get("deadbeef"); ok {
+		t.Error("unknown id found")
+	}
+	s.Start("deadbeef")           // must not panic
+	s.Finish("deadbeef", 1, nil)  // must not panic
+}
+
+func TestJobTTLEviction(t *testing.T) {
+	s := NewJobStore(time.Minute, 16)
+	now := time.Unix(1000, 0)
+	s.now = func() time.Time { return now }
+
+	done := s.Create("verify")
+	s.Finish(done, "r", nil)
+	running := s.Create("verify")
+	s.Start(running)
+
+	now = now.Add(2 * time.Minute)
+	if _, ok := s.Get(done); ok {
+		t.Error("terminal job survived past its TTL")
+	}
+	if _, ok := s.Get(running); !ok {
+		t.Error("running job was evicted by TTL")
+	}
+	if st := s.Stats(); st.Evicted != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestJobPopulationCap(t *testing.T) {
+	s := NewJobStore(time.Hour, 4)
+	var terminal []string
+	for i := 0; i < 4; i++ {
+		id := s.Create("verify")
+		s.Finish(id, i, nil)
+		terminal = append(terminal, id)
+	}
+	live := s.Create("verify") // 5th job: oldest terminal is evicted
+	if _, ok := s.Get(terminal[0]); ok {
+		t.Error("oldest terminal job survived the cap")
+	}
+	for _, id := range terminal[1:] {
+		if _, ok := s.Get(id); !ok {
+			t.Errorf("job %s evicted although the cap allowed it", id)
+		}
+	}
+	if _, ok := s.Get(live); !ok {
+		t.Error("new job missing")
+	}
+}
+
+func TestJobIDsAreUnique(t *testing.T) {
+	s := NewJobStore(time.Hour, 4096)
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		id := s.Create("x")
+		if seen[id] {
+			t.Fatalf("duplicate id %s", id)
+		}
+		seen[id] = true
+	}
+}

@@ -1,0 +1,156 @@
+package service
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyBucketsMS are the upper bounds (milliseconds, inclusive) of the
+// fixed latency histogram. The last bucket is open-ended.
+var latencyBucketsMS = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+
+// histogram is a fixed-bucket latency histogram. It is guarded by the
+// owning Metrics' mutex.
+type histogram struct {
+	counts []uint64 // len(latencyBucketsMS)+1, last = overflow
+	sum    float64  // total milliseconds
+	total  uint64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]uint64, len(latencyBucketsMS)+1)}
+}
+
+func (h *histogram) observe(ms float64) {
+	i := sort.SearchFloat64s(latencyBucketsMS, ms)
+	h.counts[i]++
+	h.sum += ms
+	h.total++
+}
+
+// quantile estimates the q-quantile (0 < q < 1) from the histogram by
+// attributing each bucket's mass to its upper bound (the overflow bucket to
+// twice the last bound). It is an upper estimate, which is the useful
+// direction for latency SLOs.
+func (h *histogram) quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(h.total))
+	if rank >= h.total {
+		rank = h.total - 1
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen > rank {
+			if i < len(latencyBucketsMS) {
+				return latencyBucketsMS[i]
+			}
+			return 2 * latencyBucketsMS[len(latencyBucketsMS)-1]
+		}
+	}
+	return 2 * latencyBucketsMS[len(latencyBucketsMS)-1]
+}
+
+// EndpointStats is the JSON snapshot of one endpoint's counters.
+type EndpointStats struct {
+	Requests uint64 `json:"requests"`
+	Errors   uint64 `json:"errors"`
+	InFlight int64  `json:"inFlight"`
+	// Latency histogram: parallel arrays of upper bounds (ms) and counts;
+	// the final count is the overflow bucket.
+	LatencyBucketsMS []float64 `json:"latencyBucketsMs"`
+	LatencyCounts    []uint64  `json:"latencyCounts"`
+	LatencyMeanMS    float64   `json:"latencyMeanMs"`
+	LatencyP50MS     float64   `json:"latencyP50Ms"`
+	LatencyP95MS     float64   `json:"latencyP95Ms"`
+	LatencyP99MS     float64   `json:"latencyP99Ms"`
+}
+
+// endpointMetrics is the live (locked) form behind EndpointStats.
+type endpointMetrics struct {
+	requests uint64
+	errors   uint64
+	inFlight int64
+	lat      *histogram
+}
+
+// Metrics aggregates the daemon's counters: per-endpoint request totals,
+// error totals, in-flight gauges and latency histograms. All methods are
+// safe for concurrent use.
+type Metrics struct {
+	mu        sync.Mutex
+	endpoints map[string]*endpointMetrics
+	start     time.Time
+}
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics {
+	return &Metrics{endpoints: map[string]*endpointMetrics{}, start: time.Now()}
+}
+
+func (m *Metrics) endpoint(name string) *endpointMetrics {
+	ep := m.endpoints[name]
+	if ep == nil {
+		ep = &endpointMetrics{lat: newHistogram()}
+		m.endpoints[name] = ep
+	}
+	return ep
+}
+
+// Begin records the start of a request on the named endpoint and returns a
+// completion callback taking whether the request failed. The callback must
+// be invoked exactly once.
+func (m *Metrics) Begin(name string) func(failed bool) {
+	m.mu.Lock()
+	ep := m.endpoint(name)
+	ep.requests++
+	ep.inFlight++
+	m.mu.Unlock()
+	t0 := time.Now()
+	return func(failed bool) {
+		ms := float64(time.Since(t0).Nanoseconds()) / 1e6
+		m.mu.Lock()
+		ep.inFlight--
+		if failed {
+			ep.errors++
+		}
+		ep.lat.observe(ms)
+		m.mu.Unlock()
+	}
+}
+
+// MetricsSnapshot is the JSON form of the registry.
+type MetricsSnapshot struct {
+	UptimeSeconds float64                  `json:"uptimeSeconds"`
+	Endpoints     map[string]EndpointStats `json:"endpoints"`
+}
+
+// Snapshot returns a consistent copy of every counter.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := MetricsSnapshot{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		Endpoints:     make(map[string]EndpointStats, len(m.endpoints)),
+	}
+	for name, ep := range m.endpoints {
+		st := EndpointStats{
+			Requests:         ep.requests,
+			Errors:           ep.errors,
+			InFlight:         ep.inFlight,
+			LatencyBucketsMS: latencyBucketsMS,
+			LatencyCounts:    append([]uint64(nil), ep.lat.counts...),
+			LatencyP50MS:     ep.lat.quantile(0.50),
+			LatencyP95MS:     ep.lat.quantile(0.95),
+			LatencyP99MS:     ep.lat.quantile(0.99),
+		}
+		if ep.lat.total > 0 {
+			st.LatencyMeanMS = ep.lat.sum / float64(ep.lat.total)
+		}
+		out.Endpoints[name] = st
+	}
+	return out
+}

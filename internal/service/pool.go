@@ -1,0 +1,80 @@
+package service
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Pool is a bounded worker pool implemented as a counting semaphore with a
+// queue: Acquire blocks until a slot frees or the caller's deadline
+// expires. The daemon runs two pools — one for cheap derivations and
+// explorations, one for expensive verifications — so a burst of heavy
+// verify requests cannot starve the derive path.
+type Pool struct {
+	sem chan struct{}
+
+	mu      sync.Mutex
+	waiting int
+	// timeouts counts Acquire calls abandoned by context expiry while
+	// queued.
+	timeouts uint64
+}
+
+// NewPool returns a pool with n slots (n <= 0 selects GOMAXPROCS).
+func NewPool(n int) *Pool {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{sem: make(chan struct{}, n)}
+}
+
+// Acquire takes a slot, blocking until one frees. It returns the context's
+// error if the caller's deadline expires first.
+func (p *Pool) Acquire(ctx context.Context) error {
+	select {
+	case p.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	p.mu.Lock()
+	p.waiting++
+	p.mu.Unlock()
+	defer func() {
+		p.mu.Lock()
+		p.waiting--
+		p.mu.Unlock()
+	}()
+	select {
+	case p.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		p.mu.Lock()
+		p.timeouts++
+		p.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// Release returns a slot taken by a successful Acquire.
+func (p *Pool) Release() { <-p.sem }
+
+// PoolStats is the JSON snapshot of a pool.
+type PoolStats struct {
+	Capacity int    `json:"capacity"`
+	InUse    int    `json:"inUse"`
+	Waiting  int    `json:"waiting"`
+	Timeouts uint64 `json:"timeouts"`
+}
+
+// Stats returns a snapshot of the pool gauges.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return PoolStats{
+		Capacity: cap(p.sem),
+		InUse:    len(p.sem),
+		Waiting:  p.waiting,
+		Timeouts: p.timeouts,
+	}
+}

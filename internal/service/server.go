@@ -1,0 +1,534 @@
+// Package service exposes the protocol-derivation pipeline as a resident
+// HTTP service — the engine behind the pgd daemon. Where the one-shot CLIs
+// (pg, verify, lotosim) re-parse and re-derive from scratch on every
+// invocation, the service keeps a content-addressed cache of finished
+// results keyed by the SHA-256 of the *normalized* specification plus an
+// option fingerprint, collapses concurrent identical requests into a
+// single computation (singleflight), bounds concurrency with per-class
+// worker pools (expensive verifications cannot starve cheap derivations),
+// and runs explorations that exceed the synchronous deadline as async jobs
+// with a TTL'd result store.
+//
+// The package layers strictly on the protoderive facade: no internal/core,
+// internal/lotos or internal/lts imports. Everything it caches is
+// immutable rendered output (strings and value structs), never live
+// syntax trees — each computation parses and derives its own tree, so
+// concurrent requests share nothing mutable.
+//
+// Endpoints:
+//
+//	POST /v1/derive          spec -> entity specs + attributes + complexity
+//	POST /v1/verify          spec -> derive + compose + equivalence verdict
+//	POST /v1/verify?async=1  same, as an async job -> {"jobId": ...}
+//	POST /v1/explore         spec -> bounded LTS exploration report
+//	GET  /v1/jobs/{id}       async job status/result
+//	GET  /healthz            liveness
+//	GET  /metrics            JSON counters (requests, cache, pools, jobs)
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	protoderive "repro"
+)
+
+// Config tunes a Server. The zero value selects production defaults.
+type Config struct {
+	// DeriveWorkers bounds concurrent derivations/explorations
+	// (0 = GOMAXPROCS).
+	DeriveWorkers int
+	// VerifyWorkers bounds concurrent verifications (0 = GOMAXPROCS).
+	VerifyWorkers int
+	// CacheEntries bounds the result cache (0 = 256 entries).
+	CacheEntries int
+	// SyncDeadline bounds a synchronous request end to end: queueing for a
+	// worker slot and waiting on a shared in-flight computation count
+	// against it (0 = 30s). A computation already running is not
+	// interrupted — clients needing longer explorations use async jobs.
+	SyncDeadline time.Duration
+	// JobDeadline bounds an async job's queueing the same way (0 = 10m).
+	JobDeadline time.Duration
+	// JobTTL keeps finished jobs retrievable for this long (0 = 10m).
+	JobTTL time.Duration
+	// MaxJobs caps the job population (0 = 1024).
+	MaxJobs int
+	// MaxBodyBytes caps request bodies (0 = 1 MiB).
+	MaxBodyBytes int64
+
+	// PreCompute, when set, is invoked inside the computing call of every
+	// cache miss, after a worker slot is acquired and before the
+	// computation runs. Test instrumentation: the load test parks the
+	// first computation here to prove that concurrent identical requests
+	// pile onto one in-flight call, and the deadline test parks it to
+	// exhaust the pool.
+	PreCompute func(kind, key string)
+}
+
+func (c Config) withDefaults() Config {
+	if c.SyncDeadline <= 0 {
+		c.SyncDeadline = 30 * time.Second
+	}
+	if c.JobDeadline <= 0 {
+		c.JobDeadline = 10 * time.Minute
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	return c
+}
+
+// Server is the derivation service. It implements http.Handler.
+type Server struct {
+	cfg        Config
+	cache      *Cache
+	jobs       *JobStore
+	metrics    *Metrics
+	derivePool *Pool
+	verifyPool *Pool
+	mux        *http.ServeMux
+	start      time.Time
+}
+
+// New builds a Server from the configuration.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:        cfg,
+		cache:      NewCache(cfg.CacheEntries),
+		jobs:       NewJobStore(cfg.JobTTL, cfg.MaxJobs),
+		metrics:    NewMetrics(),
+		derivePool: NewPool(cfg.DeriveWorkers),
+		verifyPool: NewPool(cfg.VerifyWorkers),
+		mux:        http.NewServeMux(),
+		start:      time.Now(),
+	}
+	s.mux.HandleFunc("POST /v1/derive", s.instrument("derive", s.handleDerive))
+	s.mux.HandleFunc("POST /v1/verify", s.instrument("verify", s.handleVerify))
+	s.mux.HandleFunc("POST /v1/explore", s.instrument("explore", s.handleExplore))
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("jobs", s.handleJob))
+	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// CacheStats exposes the cache counters (for tests and the metrics page).
+func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
+
+// JobStats exposes the job counters.
+func (s *Server) JobStats() JobStats { return s.jobs.Stats() }
+
+// --- request / response types ----------------------------------------------
+
+// DeriveRequestOptions mirrors protoderive.DeriveOptions on the wire.
+type DeriveRequestOptions struct {
+	KeepRedundant      bool `json:"keepRedundant,omitempty"`
+	Dialect1986        bool `json:"dialect1986,omitempty"`
+	InterruptHandshake bool `json:"interruptHandshake,omitempty"`
+}
+
+func (o DeriveRequestOptions) facade() protoderive.DeriveOptions {
+	return protoderive.DeriveOptions{
+		KeepRedundant:      o.KeepRedundant,
+		Dialect1986:        o.Dialect1986,
+		InterruptHandshake: o.InterruptHandshake,
+	}
+}
+
+func (o DeriveRequestOptions) fingerprint() string {
+	return fmt.Sprintf("raw=%t d86=%t hs=%t", o.KeepRedundant, o.Dialect1986, o.InterruptHandshake)
+}
+
+// DeriveRequest is the body of POST /v1/derive.
+type DeriveRequest struct {
+	Spec    string               `json:"spec"`
+	Options DeriveRequestOptions `json:"options"`
+}
+
+// DeriveResponse is the body of a successful derivation.
+type DeriveResponse struct {
+	// Cached reports that the response was answered without running a new
+	// derivation (stored entry or shared in-flight computation).
+	Cached bool `json:"cached"`
+	// Places lists the service access points.
+	Places []int `json:"places"`
+	// Entities maps each place (as a decimal string: JSON object keys) to
+	// its derived protocol entity specification text.
+	Entities map[string]string `json:"entities"`
+	// Attributes is the node numbering and SP/EP/AP attribute table.
+	Attributes string `json:"attributes"`
+	// MessageCount is the static message complexity.
+	MessageCount int `json:"messageCount"`
+	// Complexity is the per-operator Section-4.3 breakdown.
+	Complexity protoderive.Complexity `json:"complexity"`
+}
+
+// VerifyRequestOptions are the wire options of POST /v1/verify: the
+// derivation options plus the verification bounds.
+type VerifyRequestOptions struct {
+	DeriveRequestOptions
+	ChannelCap int  `json:"channelCap,omitempty"`
+	ObsDepth   int  `json:"obsDepth,omitempty"`
+	MaxStates  int  `json:"maxStates,omitempty"`
+	Parallel   bool `json:"parallel,omitempty"`
+	Workers    int  `json:"workers,omitempty"`
+}
+
+func (o VerifyRequestOptions) fingerprint() string {
+	return fmt.Sprintf("%s cap=%d obs=%d max=%d par=%t w=%d",
+		o.DeriveRequestOptions.fingerprint(), o.ChannelCap, o.ObsDepth, o.MaxStates, o.Parallel, o.Workers)
+}
+
+// VerifyRequest is the body of POST /v1/verify.
+type VerifyRequest struct {
+	Spec    string               `json:"spec"`
+	Options VerifyRequestOptions `json:"options"`
+}
+
+// VerifyResponse is the body of a successful verification.
+type VerifyResponse struct {
+	Cached         bool   `json:"cached"`
+	Ok             bool   `json:"ok"`
+	Complete       bool   `json:"complete"`
+	WeakBisimilar  bool   `json:"weakBisimilar"`
+	TracesEqual    bool   `json:"tracesEqual"`
+	ObsDepth       int    `json:"obsDepth"`
+	Deadlocks      int    `json:"deadlocks"`
+	ServiceStates  int    `json:"serviceStates"`
+	ComposedStates int    `json:"composedStates"`
+	MessageCount   int    `json:"messageCount"`
+	Summary        string `json:"summary"`
+}
+
+// JobAccepted is the 202 body of POST /v1/verify?async=1.
+type JobAccepted struct {
+	JobID string `json:"jobId"`
+	State string `json:"state"`
+	Poll  string `json:"poll"`
+}
+
+// ExploreRequest is the body of POST /v1/explore. Unlike derive/verify it
+// accepts any grammatical specification, not only valid services.
+type ExploreRequest struct {
+	Spec      string `json:"spec"`
+	ObsDepth  int    `json:"obsDepth,omitempty"`
+	MaxStates int    `json:"maxStates,omitempty"`
+	Traces    bool   `json:"traces,omitempty"`
+}
+
+// ExploreResponse is the body of a successful exploration. It mirrors
+// protoderive.ExploreReport field by field so the wire names stay
+// camelCase like every other endpoint.
+type ExploreResponse struct {
+	Cached      bool     `json:"cached"`
+	States      int      `json:"states"`
+	Transitions int      `json:"transitions"`
+	Deadlocks   int      `json:"deadlocks"`
+	Truncated   bool     `json:"truncated"`
+	ObsDepth    int      `json:"obsDepth"`
+	Traces      []string `json:"traces,omitempty"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	// Line and Col locate spec errors in the submitted source (1-based;
+	// absent when the failure has no position).
+	Line int `json:"line,omitempty"`
+	Col  int `json:"col,omitempty"`
+	// Rule names the violated service restriction (R1/R2/R3/APF), when
+	// that is what failed.
+	Rule string `json:"rule,omitempty"`
+}
+
+// Health is the body of GET /healthz.
+type Health struct {
+	Status        string  `json:"status"`
+	Version       string  `json:"version"`
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+}
+
+// MetricsPage is the body of GET /metrics.
+type MetricsPage struct {
+	MetricsSnapshot
+	Cache CacheStats           `json:"cache"`
+	Pools map[string]PoolStats `json:"pools"`
+	Jobs  JobStats             `json:"jobs"`
+}
+
+// --- plumbing ---------------------------------------------------------------
+
+// instrument wraps a handler with the per-endpoint metrics bookkeeping.
+func (s *Server) instrument(name string, h func(http.ResponseWriter, *http.Request) int) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		done := s.metrics.Begin(name)
+		status := h(w, r)
+		done(status >= 400)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) int {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(body) //nolint:errcheck // late write failures are the client's problem
+	return status
+}
+
+// badRequestError marks malformed request bodies (as opposed to internal
+// failures) for status mapping.
+type badRequestError struct{ err error }
+
+func (e badRequestError) Error() string { return e.err.Error() }
+func (e badRequestError) Unwrap() error { return e.err }
+
+// writeError maps an error to a status and a structured body: spec errors
+// carry their position and rule, deadline expiry maps to 503 (the request
+// never got a worker slot in time — retry or go async).
+func writeError(w http.ResponseWriter, err error) int {
+	var se *protoderive.SpecError
+	if errors.As(err, &se) {
+		return writeJSON(w, http.StatusBadRequest, ErrorResponse{
+			Error: se.Error(), Line: se.Line, Col: se.Col, Rule: se.Rule,
+		})
+	}
+	var bre badRequestError
+	if errors.As(err, &bre) {
+		return writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+	}
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{
+			Error: "deadline exceeded while queued; retry, raise the deadline, or use async=1",
+		})
+	}
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return writeJSON(w, http.StatusRequestEntityTooLarge, ErrorResponse{Error: err.Error()})
+	}
+	return writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
+}
+
+// decodeBody decodes a JSON request body, bounded and strict.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, into any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return err
+		}
+		return badRequestError{fmt.Errorf("bad request body: %w", err)}
+	}
+	return nil
+}
+
+// compute runs fn under the given pool with singleflight/cache collapsing.
+func (s *Server) compute(ctx context.Context, pool *Pool, kind, key string, fn func() (any, error)) (any, Outcome, error) {
+	return s.cache.Do(ctx, key, func() (any, error) {
+		if err := pool.Acquire(ctx); err != nil {
+			return nil, err
+		}
+		defer pool.Release()
+		if s.cfg.PreCompute != nil {
+			s.cfg.PreCompute(kind, key)
+		}
+		return fn()
+	})
+}
+
+// --- handlers ---------------------------------------------------------------
+
+func (s *Server) handleDerive(w http.ResponseWriter, r *http.Request) int {
+	var req DeriveRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		return writeError(w, err)
+	}
+	svc, err := protoderive.ParseService(req.Spec)
+	if err != nil {
+		return writeError(w, err)
+	}
+	key := CacheKey("derive", svc.String(), req.Options.fingerprint())
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.SyncDeadline)
+	defer cancel()
+	val, outcome, err := s.compute(ctx, s.derivePool, "derive", key, func() (any, error) {
+		return deriveResponse(svc, req.Options)
+	})
+	if err != nil {
+		return writeError(w, err)
+	}
+	resp := *(val.(*DeriveResponse))
+	resp.Cached = outcome != OutcomeComputed
+	return writeJSON(w, http.StatusOK, resp)
+}
+
+func deriveResponse(svc *protoderive.Service, opts DeriveRequestOptions) (*DeriveResponse, error) {
+	proto, err := svc.DeriveWithOptions(opts.facade())
+	if err != nil {
+		return nil, err
+	}
+	resp := &DeriveResponse{
+		Places:       proto.Places(),
+		Entities:     make(map[string]string, len(proto.Places())),
+		Attributes:   svc.AttributeTable(),
+		MessageCount: proto.MessageCount(),
+		Complexity:   proto.Complexity(),
+	}
+	for _, p := range proto.Places() {
+		resp.Entities[strconv.Itoa(p)] = proto.EntityText(p)
+	}
+	return resp, nil
+}
+
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) int {
+	var req VerifyRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		return writeError(w, err)
+	}
+	svc, err := protoderive.ParseService(req.Spec)
+	if err != nil {
+		return writeError(w, err)
+	}
+	key := CacheKey("verify", svc.String(), req.Options.fingerprint())
+
+	if async := r.URL.Query().Get("async"); async == "1" || async == "true" {
+		id := s.jobs.Create("verify")
+		go s.runVerifyJob(id, key, svc, req.Options)
+		return writeJSON(w, http.StatusAccepted, JobAccepted{
+			JobID: id, State: string(JobQueued), Poll: "/v1/jobs/" + id,
+		})
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.SyncDeadline)
+	defer cancel()
+	val, outcome, err := s.compute(ctx, s.verifyPool, "verify", key, func() (any, error) {
+		return verifyResponse(svc, req.Options)
+	})
+	if err != nil {
+		return writeError(w, err)
+	}
+	resp := *(val.(*VerifyResponse))
+	resp.Cached = outcome != OutcomeComputed
+	return writeJSON(w, http.StatusOK, resp)
+}
+
+// runVerifyJob executes an async verification. The job shares the cache
+// and singleflight with synchronous requests: an async job for a spec
+// someone is already verifying joins that computation, and its result
+// serves later synchronous requests.
+func (s *Server) runVerifyJob(id, key string, svc *protoderive.Service, opts VerifyRequestOptions) {
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.JobDeadline)
+	defer cancel()
+	s.jobs.Start(id)
+	val, outcome, err := s.compute(ctx, s.verifyPool, "verify", key, func() (any, error) {
+		return verifyResponse(svc, opts)
+	})
+	if err != nil {
+		s.jobs.Finish(id, nil, err)
+		return
+	}
+	resp := *(val.(*VerifyResponse))
+	resp.Cached = outcome != OutcomeComputed
+	s.jobs.Finish(id, resp, nil)
+}
+
+func verifyResponse(svc *protoderive.Service, opts VerifyRequestOptions) (*VerifyResponse, error) {
+	proto, err := svc.DeriveWithOptions(opts.facade())
+	if err != nil {
+		return nil, err
+	}
+	rep, err := proto.Verify(&protoderive.VerifyOptions{
+		ChannelCap: opts.ChannelCap,
+		ObsDepth:   opts.ObsDepth,
+		MaxStates:  opts.MaxStates,
+		Parallel:   opts.Parallel,
+		Workers:    opts.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &VerifyResponse{
+		Ok:             rep.Ok,
+		Complete:       rep.Complete,
+		WeakBisimilar:  rep.WeakBisimilar,
+		TracesEqual:    rep.TracesEqual,
+		ObsDepth:       rep.ObsDepth,
+		Deadlocks:      rep.Deadlocks,
+		ServiceStates:  rep.ServiceStates,
+		ComposedStates: rep.ComposedStates,
+		MessageCount:   proto.MessageCount(),
+		Summary:        rep.Summary,
+	}, nil
+}
+
+func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) int {
+	var req ExploreRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		return writeError(w, err)
+	}
+	normalized, err := protoderive.NormalizeSource(req.Spec)
+	if err != nil {
+		return writeError(w, err)
+	}
+	fp := fmt.Sprintf("obs=%d max=%d traces=%t", req.ObsDepth, req.MaxStates, req.Traces)
+	key := CacheKey("explore", normalized, fp)
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.SyncDeadline)
+	defer cancel()
+	val, outcome, err := s.compute(ctx, s.derivePool, "explore", key, func() (any, error) {
+		return protoderive.ExploreSource(req.Spec, &protoderive.ExploreOptions{
+			ObsDepth:  req.ObsDepth,
+			MaxStates: req.MaxStates,
+			Traces:    req.Traces,
+		})
+	})
+	if err != nil {
+		return writeError(w, err)
+	}
+	rep := val.(*protoderive.ExploreReport)
+	return writeJSON(w, http.StatusOK, ExploreResponse{
+		Cached:      outcome != OutcomeComputed,
+		States:      rep.States,
+		Transitions: rep.Transitions,
+		Deadlocks:   rep.Deadlocks,
+		Truncated:   rep.Truncated,
+		ObsDepth:    rep.ObsDepth,
+		Traces:      rep.Traces,
+	})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) int {
+	job, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		return writeJSON(w, http.StatusNotFound, ErrorResponse{Error: "no such job (expired or never created)"})
+	}
+	return writeJSON(w, http.StatusOK, job)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) int {
+	return writeJSON(w, http.StatusOK, Health{
+		Status:        "ok",
+		Version:       protoderive.Version,
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) int {
+	return writeJSON(w, http.StatusOK, MetricsPage{
+		MetricsSnapshot: s.metrics.Snapshot(),
+		Cache:           s.cache.Stats(),
+		Pools: map[string]PoolStats{
+			"derive": s.derivePool.Stats(),
+			"verify": s.verifyPool.Stats(),
+		},
+		Jobs: s.jobs.Stats(),
+	})
+}

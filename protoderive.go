@@ -23,6 +23,8 @@
 package protoderive
 
 import (
+	"errors"
+	"fmt"
 	"time"
 
 	"repro/internal/attr"
@@ -32,6 +34,71 @@ import (
 	"repro/internal/lts"
 	"repro/internal/sim"
 )
+
+// SpecError is the structured error the facade returns for every failure
+// caused by the input specification: lexical and syntax errors, name
+// resolution failures, service-event well-formedness, and violations of the
+// paper's restrictions R1-R3. Long-running callers (the pgd daemon, editor
+// integrations) match it with errors.As to separate bad-input failures from
+// internal ones and to report source positions.
+type SpecError struct {
+	// Line and Col locate the error in the source text (1-based). Both are
+	// zero when the failure has no single position (e.g. a restriction
+	// violation, which is located by node instead).
+	Line, Col int
+	// Rule names the violated restriction ("R1", "R2", "R3", "APF") for
+	// restriction errors; empty otherwise.
+	Rule string
+	// Msg is the bare description, without any position prefix.
+	Msg string
+
+	err error // underlying cause, for Unwrap
+}
+
+// Error implements the error interface. The rendering matches the
+// underlying packages' text, so wrapping is invisible to string matching.
+func (e *SpecError) Error() string {
+	if e.err != nil {
+		return e.err.Error()
+	}
+	if e.Line > 0 {
+		return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg)
+	}
+	return e.Msg
+}
+
+// Unwrap returns the underlying error.
+func (e *SpecError) Unwrap() error { return e.err }
+
+// specErr wraps an input-caused error into a *SpecError, lifting the source
+// position of syntax errors and the rule of restriction violations into the
+// structured fields. A nil input stays nil.
+func specErr(err error) error {
+	if err == nil {
+		return err
+	}
+	se := &SpecError{Msg: err.Error(), err: err}
+	var syn *lotos.SyntaxError
+	if errors.As(err, &syn) {
+		se.Line, se.Col, se.Msg = syn.Line, syn.Col, syn.Msg
+	}
+	var re *attr.RestrictionError
+	if errors.As(err, &re) {
+		se.Rule = re.Rule
+	}
+	return se
+}
+
+// guard converts a panic escaping a facade entry point into an error: the
+// facade's contract is that malformed input and internal failures surface
+// as errors, never as panics, so resident callers (pgd) stay up. The
+// recovered value is wrapped, not rethrown; the panic site is a bug and the
+// message says so.
+func guard(err *error) {
+	if r := recover(); r != nil {
+		*err = fmt.Errorf("protoderive: internal error (please report): %v", r)
+	}
+}
 
 // Service is a parsed and validated communication-service specification.
 type Service struct {
@@ -43,15 +110,16 @@ type Service struct {
 // name resolution, service-event well-formedness, and the paper's
 // restrictions R1 (locally decided choices), R2 (equal ending places) and
 // R3 (disabling starts within the normal part's ending places).
-func ParseService(src string) (*Service, error) {
+func ParseService(src string) (svc *Service, err error) {
+	defer guard(&err)
 	sp, err := lotos.Parse(src)
 	if err != nil {
-		return nil, err
+		return nil, specErr(err)
 	}
 	// Validate on a clone: attribute analysis numbers the tree in place.
 	info, err := attr.Validate(lotos.CloneSpec(sp))
 	if err != nil {
-		return nil, err
+		return nil, specErr(err)
 	}
 	return &Service{spec: sp, info: info}, nil
 }
@@ -89,12 +157,102 @@ func (s *Service) AttributeTable() string { return s.info.Table() }
 
 // Traces enumerates the service's weak traces up to the given number of
 // observable events (successful termination appears as "delta").
-func (s *Service) Traces(depth int) ([]string, error) {
+func (s *Service) Traces(depth int) (out []string, err error) {
+	defer guard(&err)
 	g, err := lts.ExploreSpec(lotos.CloneSpec(s.spec), lts.Limits{MaxObsDepth: depth})
 	if err != nil {
 		return nil, err
 	}
 	return lts.WeakTraces(g, depth), nil
+}
+
+// ExploreOptions tunes Explore. The zero value (or nil) selects defaults:
+// observable depth 8 and the default state cap.
+type ExploreOptions struct {
+	// ObsDepth bounds exploration by observable depth (default 8).
+	ObsDepth int
+	// MaxStates caps the number of explored states.
+	MaxStates int
+	// Traces includes the weak trace set up to ObsDepth in the report.
+	Traces bool
+}
+
+// ExploreReport summarizes a bounded exploration of a service's labelled
+// transition system.
+type ExploreReport struct {
+	// States and Transitions are the explored sizes.
+	States, Transitions int
+	// Deadlocks counts states with no outgoing transition that were not
+	// reached by successful termination.
+	Deadlocks int
+	// Truncated reports that a limit stopped exploration before closure.
+	Truncated bool
+	// ObsDepth is the observable bound the exploration ran with.
+	ObsDepth int
+	// Traces is the weak trace set up to ObsDepth (only when requested).
+	Traces []string `json:",omitempty"`
+}
+
+// Explore explores the service's labelled transition system up to the given
+// bounds and reports its size, deadlocks and (optionally) weak traces. It
+// is the facade over internal/lts for callers — like the pgd daemon — that
+// need exploration of a spec without deriving a protocol from it.
+func (s *Service) Explore(opts *ExploreOptions) (rep *ExploreReport, err error) {
+	defer guard(&err)
+	return exploreSpec(s.spec, opts)
+}
+
+// ExploreSource parses and explores any specification the grammar accepts —
+// including ones that are not valid *service* specifications (hide, message
+// interactions, restriction violations), which ParseService rejects. Only
+// syntax and name resolution are checked.
+func ExploreSource(src string, opts *ExploreOptions) (rep *ExploreReport, err error) {
+	defer guard(&err)
+	sp, err := lotos.Parse(src)
+	if err != nil {
+		return nil, specErr(err)
+	}
+	return exploreSpec(sp, opts)
+}
+
+// NormalizeSource parses any grammatical specification and returns its
+// pretty-printed canonical form — the normalization the pgd daemon's
+// content-addressed cache keys on.
+func NormalizeSource(src string) (out string, err error) {
+	defer guard(&err)
+	sp, err := lotos.Parse(src)
+	if err != nil {
+		return "", specErr(err)
+	}
+	return sp.String(), nil
+}
+
+func exploreSpec(sp *lotos.Spec, opts *ExploreOptions) (*ExploreReport, error) {
+	var o ExploreOptions
+	if opts != nil {
+		o = *opts
+	}
+	if o.ObsDepth <= 0 {
+		o.ObsDepth = compose.DefaultObsDepth
+	}
+	g, err := lts.ExploreSpec(lotos.CloneSpec(sp), lts.Limits{
+		MaxObsDepth: o.ObsDepth,
+		MaxStates:   o.MaxStates,
+	})
+	if err != nil {
+		return nil, specErr(err)
+	}
+	rep := &ExploreReport{
+		States:      g.NumStates(),
+		Transitions: g.NumTransitions(),
+		Deadlocks:   len(g.Deadlocks()),
+		Truncated:   g.Truncated,
+		ObsDepth:    o.ObsDepth,
+	}
+	if o.Traces {
+		rep.Traces = lts.WeakTraces(g, o.ObsDepth)
+	}
+	return rep, nil
 }
 
 // DeriveOptions tunes Derive.
@@ -122,7 +280,8 @@ func (s *Service) Derive() (*Protocol, error) {
 }
 
 // DeriveWithOptions runs the derivation algorithm.
-func (s *Service) DeriveWithOptions(opts DeriveOptions) (*Protocol, error) {
+func (s *Service) DeriveWithOptions(opts DeriveOptions) (proto *Protocol, err error) {
+	defer guard(&err)
 	mode := core.InterruptBroadcast
 	if opts.InterruptHandshake {
 		mode = core.InterruptHandshake
@@ -133,7 +292,7 @@ func (s *Service) DeriveWithOptions(opts DeriveOptions) (*Protocol, error) {
 		Interrupt:     mode,
 	})
 	if err != nil {
-		return nil, err
+		return nil, specErr(err)
 	}
 	return &Protocol{d: d}, nil
 }
@@ -227,16 +386,33 @@ type VerifyReport struct {
 	Summary string
 }
 
+// cloneEntities deep-copies an entity map. Exploration resolves and numbers
+// specification trees in place, so the facade hands the implementation
+// packages private clones: concurrent Verify/Simulate/Optimize calls on one
+// Protocol — the steady state of a resident daemon — must not race on the
+// shared trees.
+func cloneEntities(m map[int]*lotos.Spec) map[int]*lotos.Spec {
+	out := make(map[int]*lotos.Spec, len(m))
+	for p, sp := range m {
+		out[p] = lotos.CloneSpec(sp)
+	}
+	return out
+}
+
 // Verify checks the derived protocol against its service: the composed
 // system "hide G in ((T_1 ||| ... ||| T_n) |[G]| Medium)" must be weakly
 // bisimilar to the service (exactly, for finite state spaces; up to a
 // bounded observable depth otherwise).
-func (p *Protocol) Verify(opts *VerifyOptions) (*VerifyReport, error) {
+//
+// Verify is safe for concurrent use on one Protocol: it operates on clones
+// of the service and entity trees.
+func (p *Protocol) Verify(opts *VerifyOptions) (out *VerifyReport, err error) {
+	defer guard(&err)
 	var o VerifyOptions
 	if opts != nil {
 		o = *opts
 	}
-	rep, err := compose.Verify(p.d.Service.Spec, p.d.Entities, compose.VerifyOptions{
+	rep, err := compose.Verify(lotos.CloneSpec(p.d.Service.Spec), cloneEntities(p.d.Entities), compose.VerifyOptions{
 		ChannelCap: o.ChannelCap,
 		ObsDepth:   o.ObsDepth,
 		MaxStates:  o.MaxStates,
@@ -297,8 +473,10 @@ type SimResult struct {
 
 // Simulate runs the derived entities concurrently — one goroutine per
 // protocol entity over a FIFO medium — and checks the observed trace
-// against the service specification.
-func (p *Protocol) Simulate(opts *SimOptions) (*SimResult, error) {
+// against the service specification. Like Verify, it operates on clones and
+// is safe for concurrent use on one Protocol.
+func (p *Protocol) Simulate(opts *SimOptions) (out *SimResult, err error) {
+	defer guard(&err)
 	var o SimOptions
 	if opts != nil {
 		o = *opts
@@ -317,11 +495,11 @@ func (p *Protocol) Simulate(opts *SimOptions) (*SimResult, error) {
 	if len(o.Script) > 0 {
 		cfg.Harness = sim.NewScripted(o.Script)
 	}
-	res, err := sim.Run(p.d.Entities, cfg)
+	res, err := sim.Run(cloneEntities(p.d.Entities), cfg)
 	if err != nil {
 		return nil, err
 	}
-	out := &SimResult{
+	out = &SimResult{
 		Trace:           res.TraceStrings(),
 		Completed:       res.Completed,
 		Deadlocked:      res.Deadlocked,
@@ -330,7 +508,7 @@ func (p *Protocol) Simulate(opts *SimOptions) (*SimResult, error) {
 		MessagesSent:    res.Medium.Sent,
 		MessagesDropped: res.Medium.Dropped,
 	}
-	out.TraceValid = sim.CheckTrace(p.d.Service.Spec, res, 0) == nil
+	out.TraceValid = sim.CheckTrace(lotos.CloneSpec(p.d.Service.Spec), res, 0) == nil
 	return out, nil
 }
 
@@ -347,13 +525,15 @@ type OptimizeReport struct {
 // Optimize removes non-essential synchronization messages (the elimination
 // the paper defers to [Khen 89]), re-verifying the Section-5 relation after
 // every removal; only removals that keep the protocol correct survive. The
-// given options bound each verification (nil selects defaults).
-func (p *Protocol) Optimize(opts *VerifyOptions) (*OptimizeReport, error) {
+// given options bound each verification (nil selects defaults). Like
+// Verify, it operates on clones and is safe for concurrent use.
+func (p *Protocol) Optimize(opts *VerifyOptions) (out *OptimizeReport, err error) {
+	defer guard(&err)
 	var o VerifyOptions
 	if opts != nil {
 		o = *opts
 	}
-	res, err := compose.OptimizeMessages(p.d.Service.Spec, p.d.Entities, compose.VerifyOptions{
+	res, err := compose.OptimizeMessages(lotos.CloneSpec(p.d.Service.Spec), cloneEntities(p.d.Entities), compose.VerifyOptions{
 		ChannelCap: o.ChannelCap,
 		ObsDepth:   o.ObsDepth,
 		MaxStates:  o.MaxStates,
@@ -385,10 +565,11 @@ type Centralized struct {
 
 // DeriveCentralized builds the centralized baseline (server 0 selects the
 // smallest place). Disabling is not supported by the baseline.
-func (s *Service) DeriveCentralized(server int) (*Centralized, error) {
+func (s *Service) DeriveCentralized(server int) (cen *Centralized, err error) {
+	defer guard(&err)
 	d, err := core.DeriveCentralized(s.spec, server)
 	if err != nil {
-		return nil, err
+		return nil, specErr(err)
 	}
 	return &Centralized{d: d}, nil
 }

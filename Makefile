@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check fuzz-smoke run-pgd bench bench-baseline bench-server
+.PHONY: build test check fuzz-smoke run-pgd bench bench-baseline bench-server bench-equiv bench-equiv-record
 
 build:
 	$(GO) build ./...
@@ -40,3 +40,13 @@ bench-baseline:
 # PR 2 performance record.
 bench-server:
 	$(GO) test -run '^$$' -bench '^BenchmarkServer' -json ./internal/service | tee BENCH_PR2.json
+
+# bench-equiv sweeps the corpus through both equivalence checkers — the
+# integer/CSR engine and the retained map/string reference — for
+# WeakBisim and Quotient. Also the CI smoke (benchtime=1x, must complete).
+bench-equiv:
+	$(GO) test -run '^$$' -bench '^(BenchmarkWeakBisim|BenchmarkQuotient)$$' -benchtime $(or $(BENCHTIME),1x) -benchmem .
+
+# bench-equiv-record writes the PR 3 performance record.
+bench-equiv-record:
+	$(GO) test -run '^$$' -bench '^(BenchmarkWeakBisim|BenchmarkQuotient)$$' -benchtime 3x -benchmem -json . | tee BENCH_PR3.json

@@ -247,19 +247,102 @@ func BenchmarkExploreService(b *testing.B) {
 	}
 }
 
-func BenchmarkWeakBisim(b *testing.B) {
-	g1, err := lts.ExploreSpec(mustSpec(b, chainSpec(3, 10)), lts.Limits{})
-	if err != nil {
-		b.Fatal(err)
-	}
-	g2, err := lts.ExploreSpec(mustSpec(b, chainSpec(3, 10)), lts.Limits{})
-	if err != nil {
-		b.Fatal(err)
-	}
-	for i := 0; i < b.N; i++ {
-		if !equiv.WeakBisimilar(g1, g2) {
-			b.Fatal("not bisimilar")
+// --- equivalence engine: corpus sweep (engine vs retained reference) ---------
+
+// equivBenchLimits bounds the graphs the equivalence benchmarks compare.
+// The bound is chosen so the retained quadratic reference checker still
+// terminates in seconds on the largest corpus entry while the graphs are
+// big enough (thousands of states on the composed side) for the asymptotic
+// gap to show.
+var equivBenchLimits = lts.Limits{MaxObsDepth: 4, MaxStates: 4000}
+
+type equivBenchCase struct {
+	name   string
+	sg, cg *lts.Graph
+}
+
+// equivBenchCases explores every derivable corpus spec to the benchmark
+// bound and pairs the service graph with the composed protocol graph.
+func equivBenchCases(b *testing.B) []equivBenchCase {
+	b.Helper()
+	var cases []equivBenchCase
+	for _, file := range corpusFiles(b) {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			b.Fatal(err)
 		}
+		d, err := core.Derive(mustSpec(b, string(src)), core.Options{})
+		if err != nil {
+			continue // restriction-violating corpus entries have no protocol
+		}
+		sg, err := lts.ExploreSpec(d.Service.Spec, equivBenchLimits)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys, err := compose.New(d.Entities, compose.Config{Limits: equivBenchLimits})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cg, err := sys.Explore()
+		if err != nil {
+			b.Fatal(err)
+		}
+		cases = append(cases, equivBenchCase{
+			name: strings.TrimSuffix(filepath.Base(file), ".spec"),
+			sg:   sg,
+			cg:   cg,
+		})
+	}
+	return cases
+}
+
+// BenchmarkWeakBisim compares the integer/CSR engine against the retained
+// map/string reference checker on every corpus service-vs-composed pair
+// (the workload compose.Verify runs). The two must agree verdict for
+// verdict; the interesting numbers are time/op and allocs/op.
+func BenchmarkWeakBisim(b *testing.B) {
+	for _, c := range equivBenchCases(b) {
+		want := equiv.RefWeakBisimilar(c.sg, c.cg)
+		b.Run(c.name+"/engine", func(b *testing.B) {
+			b.ReportAllocs()
+			b.ReportMetric(float64(c.sg.NumStates()+c.cg.NumStates()), "states")
+			for i := 0; i < b.N; i++ {
+				if equiv.WeakBisimilar(c.sg, c.cg) != want {
+					b.Fatal("engine disagrees with reference")
+				}
+			}
+		})
+		b.Run(c.name+"/reference", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if equiv.RefWeakBisimilar(c.sg, c.cg) != want {
+					b.Fatal("reference verdict unstable")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkQuotient minimizes each corpus composed graph with both
+// implementations.
+func BenchmarkQuotient(b *testing.B) {
+	for _, c := range equivBenchCases(b) {
+		b.Run(c.name+"/engine", func(b *testing.B) {
+			b.ReportAllocs()
+			var states int
+			for i := 0; i < b.N; i++ {
+				states = equiv.QuotientWeak(c.cg).NumStates()
+			}
+			b.ReportMetric(float64(states), "classes")
+		})
+		b.Run(c.name+"/reference", func(b *testing.B) {
+			b.ReportAllocs()
+			var states int
+			for i := 0; i < b.N; i++ {
+				states = equiv.RefQuotientWeak(c.cg).NumStates()
+			}
+			b.ReportMetric(float64(states), "classes")
+		})
 	}
 }
 

@@ -23,6 +23,7 @@
 //	-seed S       simulation base seed
 //	-events N     simulation event bound (default 40)
 //	-optimize     remove non-essential messages (re-verifying each removal)
+//	-stats        print equivalence-engine counters (SCCs, saturation, rounds)
 package main
 
 import (
@@ -54,6 +55,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	optimize := fs.Bool("optimize", false, "remove non-essential messages")
 	handshake := fs.Bool("handshake", false, "use the Section-3.3 request/acknowledge interrupt implementation")
 	parallel := fs.Bool("parallel", false, "explore the composed state space with one worker per CPU")
+	stats := fs.Bool("stats", false, "print equivalence-engine work counters")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: verify [flags] service.spec\n")
 		fs.PrintDefaults()
@@ -93,6 +95,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return cli.ExitFail
 	}
 	fmt.Fprint(stdout, rep.Summary())
+	if *stats {
+		printStats(stdout, rep)
+	}
 	if hasDisable(sp) && !rep.Ok() {
 		fmt.Fprintln(stdout, "note: the service uses '[>'; the Section-5 theorem excludes it and")
 		fmt.Fprintln(stdout, "the Section-3.3 implementation deviates by design (see EXPERIMENTS.md, E11)")
@@ -129,6 +134,20 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		}
 	}
 	return exitCode
+}
+
+// printStats renders the equivalence engine's work counters (-stats).
+func printStats(w io.Writer, rep *compose.Report) {
+	if rep.Equiv == nil {
+		fmt.Fprintln(w, "engine: no stats (weak bisimulation skipped)")
+		return
+	}
+	e := rep.Equiv
+	fmt.Fprintf(w, "engine: %d states, %d transitions, %d labels\n", e.States, e.Transitions, e.Labels)
+	fmt.Fprintf(w, "engine: %d tau-SCCs, %d saturation edges, %d refinement rounds, %d blocks\n",
+		e.TauSCCs, e.SaturationEdges, e.RefinementRounds, e.Blocks)
+	fmt.Fprintf(w, "engine: saturate %.3fms, refine %.3fms\n",
+		float64(e.SaturateNanos)/1e6, float64(e.RefineNanos)/1e6)
 }
 
 func hasDisable(sp *lotos.Spec) bool {

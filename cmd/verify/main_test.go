@@ -78,6 +78,25 @@ func TestVerifyParallelFlag(t *testing.T) {
 	}
 }
 
+func TestVerifyStatsFlag(t *testing.T) {
+	code, out, _ := runVerify(t, []string{"-stats", "-"}, "SPEC a1; b2; c3; exit ENDSPEC")
+	if code != cli.ExitOK {
+		t.Fatalf("exit %d\n%s", code, out)
+	}
+	for _, want := range []string{
+		"engine:", "tau-SCCs", "saturation edges", "refinement rounds", "saturate", "refine",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in -stats output:\n%s", want, out)
+		}
+	}
+	// Without the flag the engine lines must stay silent.
+	_, plain, _ := runVerify(t, []string{"-"}, "SPEC a1; b2; c3; exit ENDSPEC")
+	if strings.Contains(plain, "engine:") {
+		t.Errorf("engine stats printed without -stats:\n%s", plain)
+	}
+}
+
 func TestVerifyRejectsInvalidService(t *testing.T) {
 	code, _, errw := runVerify(t, []string{"-"}, "SPEC a1; exit [] b2; exit ENDSPEC")
 	if code != cli.ExitFail || !strings.Contains(errw, "R1") {

@@ -1,0 +1,107 @@
+package protoderive
+
+// Corpus-wide differential validation of the integer equivalence engine
+// (internal/equiv engine.go) against the retained map/string reference
+// checker: for every specs/*.spec, the service graph and the composed
+// protocol graph — plus mutated protocol variants from internal/mutate —
+// must get verdict-for-verdict identical answers from both implementations
+// on WeakBisimilar, ObservationCongruent, StrongBisimilar and
+// NumClassesWeak. This lives in the root package because internal/compose
+// imports internal/equiv, so equiv's own tests cannot build composed
+// graphs.
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/compose"
+	"repro/internal/core"
+	"repro/internal/equiv"
+	"repro/internal/lotos"
+	"repro/internal/lts"
+	"repro/internal/mutate"
+)
+
+// diffLimits keeps the graphs small enough for the quadratic reference
+// checker: the differential claim holds wherever exploration truncates.
+var diffLimits = lts.Limits{MaxObsDepth: 3, MaxStates: 1200}
+
+// diffMutantsPerSpec bounds the mutant sweep per corpus entry.
+const diffMutantsPerSpec = 6
+
+func exploreForDiff(t *testing.T, entities map[int]*lotos.Spec) *lts.Graph {
+	t.Helper()
+	sys, err := compose.New(entities, compose.Config{Limits: diffLimits})
+	if err != nil {
+		t.Fatalf("compose: %v", err)
+	}
+	g, err := sys.Explore()
+	if err != nil {
+		t.Fatalf("explore composed: %v", err)
+	}
+	return g
+}
+
+func assertEngineAgreement(t *testing.T, name string, g1, g2 *lts.Graph) {
+	t.Helper()
+	if got, want := equiv.WeakBisimilar(g1, g2), equiv.RefWeakBisimilar(g1, g2); got != want {
+		t.Errorf("%s: WeakBisimilar engine=%v reference=%v", name, got, want)
+	}
+	if got, want := equiv.ObservationCongruent(g1, g2), equiv.RefObservationCongruent(g1, g2); got != want {
+		t.Errorf("%s: ObservationCongruent engine=%v reference=%v", name, got, want)
+	}
+	if got, want := equiv.StrongBisimilar(g1, g2), equiv.RefStrongBisimilar(g1, g2); got != want {
+		t.Errorf("%s: StrongBisimilar engine=%v reference=%v", name, got, want)
+	}
+	for i, g := range []*lts.Graph{g1, g2} {
+		if got, want := equiv.NumClassesWeak(g), equiv.RefNumClassesWeak(g); got != want {
+			t.Errorf("%s: NumClassesWeak(g%d) engine=%d reference=%d", name, i+1, got, want)
+		}
+	}
+}
+
+func TestCorpusEquivEngineDifferential(t *testing.T) {
+	for _, file := range corpusFiles(t) {
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := ParseService(string(src)); err != nil {
+				var se *SpecError
+				if errors.As(err, &se) && se.Rule != "" {
+					t.Skipf("corpus spec violates restriction %s: %v", se.Rule, err)
+				}
+				t.Fatalf("parse: %v", err)
+			}
+			sp, err := lotos.Parse(string(src))
+			if err != nil {
+				t.Fatal(err)
+			}
+			d, err := core.Derive(sp, core.Options{})
+			if err != nil {
+				t.Fatalf("derive: %v", err)
+			}
+			sg, err := lts.ExploreSpec(d.Service.Spec, diffLimits)
+			if err != nil {
+				t.Fatalf("explore service: %v", err)
+			}
+			cg := exploreForDiff(t, d.Entities)
+			t.Logf("service %d states, composed %d states", sg.NumStates(), cg.NumStates())
+
+			assertEngineAgreement(t, "service vs composed", sg, cg)
+			assertEngineAgreement(t, "service vs service", sg, sg)
+
+			mutants := mutate.Generate(d.Entities)
+			if len(mutants) > diffMutantsPerSpec {
+				mutants = mutants[:diffMutantsPerSpec]
+			}
+			for _, m := range mutants {
+				mg := exploreForDiff(t, m.Entities)
+				assertEngineAgreement(t, m.Description, sg, mg)
+			}
+		})
+	}
+}

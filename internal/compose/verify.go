@@ -41,6 +41,11 @@ type Report struct {
 	// ComposedDeadlocks lists deadlocked composed states (none expected for
 	// a correct derivation of a deadlock-free service).
 	ComposedDeadlocks int
+
+	// Equiv reports the equivalence engine's work counters (τ-SCC count,
+	// saturation size, refinement rounds, per-phase wall time). Set only
+	// when the weak-bisimulation check ran, i.e. when Complete.
+	Equiv *equiv.Stats
 }
 
 // Ok reports overall success: trace equality at the checked depth, no
@@ -149,7 +154,9 @@ func Verify(service *lotos.Spec, entities map[int]*lotos.Spec, opts VerifyOption
 	r.ComposedDeadlocks = len(cg.Deadlocks())
 	r.Complete = !sg.Truncated && !cg.Truncated
 	if r.Complete {
-		r.WeakBisimilar = equiv.WeakBisimilar(sg, cg)
+		var st equiv.Stats
+		r.WeakBisimilar, st = equiv.WeakBisimilarStats(sg, cg)
+		r.Equiv = &st
 	}
 	return r, nil
 }

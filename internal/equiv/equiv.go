@@ -6,12 +6,14 @@
 // fallback for state spaces that cannot be explored to closure.
 //
 // All checks operate on the finite (possibly truncated) transition graphs
-// produced by internal/lts.
+// produced by internal/lts. They run on the integer engine of engine.go
+// (interned labels, τ-SCC saturation, hashed partition refinement); the
+// original map/string checker is retained in reference.go as the executable
+// specification the differential tests compare against.
 package equiv
 
 import (
 	"sort"
-	"strings"
 
 	"repro/internal/lts"
 )
@@ -20,220 +22,20 @@ import (
 // graphs. It cannot collide with lts label keys ("\x01i"/"\x01d"/gates).
 const epsKey = "\x02eps"
 
-// saturated holds the weak transition relation of one graph:
-// weak[s][label] = sorted set of states reachable via i* label i*
-// (for observable labels), plus weak[s][epsKey] = i* closure (including s).
-type saturated struct {
-	n    int
-	weak []map[string][]int
-}
-
-// saturate computes the weak transition relation of g.
-func saturate(g *lts.Graph) *saturated {
-	n := g.NumStates()
-	closure := make([][]int, n)
-	for s := 0; s < n; s++ {
-		closure[s] = epsClosure(g, s)
-	}
-	sat := &saturated{n: n, weak: make([]map[string][]int, n)}
-	for s := 0; s < n; s++ {
-		m := map[string][]int{}
-		m[epsKey] = closure[s]
-		// i* a i*: from every state in closure(s), take an observable edge,
-		// then close again.
-		for _, mid := range closure[s] {
-			for _, e := range g.Edges[mid] {
-				if !e.Label.Observable() {
-					continue
-				}
-				key := e.Label.Key()
-				m[key] = append(m[key], closure[e.To]...)
-			}
-		}
-		for k := range m {
-			m[k] = dedup(m[k])
-		}
-		sat.weak[s] = m
-	}
-	return sat
-}
-
-func epsClosure(g *lts.Graph, s int) []int {
-	visited := map[int]bool{s: true}
-	stack := []int{s}
-	for len(stack) > 0 {
-		cur := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		for _, e := range g.Edges[cur] {
-			if e.Label.Kind == lts.LInternal && !visited[e.To] {
-				visited[e.To] = true
-				stack = append(stack, e.To)
-			}
-		}
-	}
-	out := make([]int, 0, len(visited))
-	for st := range visited {
-		out = append(out, st)
-	}
-	sort.Ints(out)
-	return out
-}
-
-func dedup(xs []int) []int {
-	if len(xs) == 0 {
-		return xs
-	}
-	sort.Ints(xs)
-	out := xs[:1]
-	for _, x := range xs[1:] {
-		if x != out[len(out)-1] {
-			out = append(out, x)
-		}
-	}
-	return out
-}
-
 // WeakBisimilar reports whether the initial states of g1 and g2 are weakly
 // bisimilar (observationally equivalent, "≈" without the congruence root
 // condition). Successful termination δ is treated as observable, as in
 // LOTOS. The graphs must be fully explored; calling this on truncated
 // graphs gives an answer for the truncated systems only.
 func WeakBisimilar(g1, g2 *lts.Graph) bool {
-	p := weakPartition(g1, g2)
-	return p.sameBlock(0, g1.NumStates())
+	ok, _ := WeakBisimilarStats(g1, g2)
+	return ok
 }
 
-// weakPartition runs partition refinement over the disjoint union of the
-// two graphs, with signatures built from the saturated weak transitions.
-// The result assigns every state a block; weakly bisimilar states share a
-// block.
-func weakPartition(g1, g2 *lts.Graph) *partition {
-	s1 := saturate(g1)
-	s2 := saturate(g2)
-	n := s1.n + s2.n
-	// weakAt returns the weak transition map of combined state s.
-	weakAt := func(s int) map[string][]int {
-		if s < s1.n {
-			return s1.weak[s]
-		}
-		return shift(s2.weak[s-s1.n], s1.n)
-	}
-	// Pre-shift the second graph's maps once for speed.
-	shifted := make([]map[string][]int, s2.n)
-	for i := range shifted {
-		shifted[i] = shift(s2.weak[i], s1.n)
-	}
-	weakAt = func(s int) map[string][]int {
-		if s < s1.n {
-			return s1.weak[s]
-		}
-		return shifted[s-s1.n]
-	}
-
-	p := newPartition(n)
-	for {
-		changed := p.refine(weakAt)
-		if !changed {
-			return p
-		}
-	}
-}
-
-func shift(m map[string][]int, off int) map[string][]int {
-	out := make(map[string][]int, len(m))
-	for k, v := range m {
-		sv := make([]int, len(v))
-		for i, x := range v {
-			sv[i] = x + off
-		}
-		out[k] = sv
-	}
-	return out
-}
-
-// partition tracks block membership during refinement.
-type partition struct {
-	block []int
-}
-
-func newPartition(n int) *partition {
-	return &partition{block: make([]int, n)}
-}
-
-func (p *partition) sameBlock(a, b int) bool { return p.block[a] == p.block[b] }
-
-// refine splits blocks by transition signature; it returns whether any
-// block split.
-func (p *partition) refine(weakAt func(int) map[string][]int) bool {
-	sigs := make([]string, len(p.block))
-	for s := range p.block {
-		sigs[s] = p.signature(s, weakAt(s))
-	}
-	next := map[string]int{}
-	newBlock := make([]int, len(p.block))
-	for s := range p.block {
-		key := sigs[s]
-		id, ok := next[key]
-		if !ok {
-			id = len(next)
-			next[key] = id
-		}
-		newBlock[s] = id
-	}
-	changed := false
-	for s := range p.block {
-		if newBlock[s] != p.block[s] {
-			changed = true
-		}
-	}
-	copy(p.block, newBlock)
-	return changed
-}
-
-// signature renders the current block plus the set of (label, targetBlock)
-// pairs reachable by weak moves.
-func (p *partition) signature(s int, weak map[string][]int) string {
-	var parts []string
-	parts = append(parts, "b"+itoa(p.block[s]))
-	keys := make([]string, 0, len(weak))
-	for k := range weak {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		blocks := map[int]bool{}
-		for _, t := range weak[k] {
-			blocks[p.block[t]] = true
-		}
-		bs := make([]int, 0, len(blocks))
-		for b := range blocks {
-			bs = append(bs, b)
-		}
-		sort.Ints(bs)
-		var sb strings.Builder
-		sb.WriteString(k)
-		sb.WriteString("->")
-		for _, b := range bs {
-			sb.WriteString(itoa(b))
-			sb.WriteByte(',')
-		}
-		parts = append(parts, sb.String())
-	}
-	return strings.Join(parts, ";")
-}
-
-func itoa(x int) string {
-	var buf [12]byte
-	i := len(buf)
-	if x == 0 {
-		return "0"
-	}
-	for x > 0 {
-		i--
-		buf[i] = byte('0' + x%10)
-		x /= 10
-	}
-	return string(buf[i:])
+// WeakBisimilarStats is WeakBisimilar plus the engine's work counters.
+func WeakBisimilarStats(g1, g2 *lts.Graph) (bool, Stats) {
+	e := newWeakEngine(g1, g2)
+	return e.stateBlock(0) == e.stateBlock(g1.NumStates()), e.stats
 }
 
 // ObservationCongruent reports whether the initial states of g1 and g2 are
@@ -242,50 +44,37 @@ func itoa(x int) string {
 // at least one internal move (i then i*) of the other into a weakly
 // bisimilar state. The root condition distinguishes e.g. "B" from "i; B".
 func ObservationCongruent(g1, g2 *lts.Graph) bool {
-	p := weakPartition(g1, g2)
+	e := newWeakEngine(g1, g2)
 	off := g1.NumStates()
-	if !p.sameBlock(0, off) {
+	if e.stateBlock(0) != e.stateBlock(off) {
 		return false
 	}
-	return rootCondition(g1, g2, p, off, false) && rootCondition(g2, g1, p, off, true)
+	return e.rootMatched(g1, 0, g2, off) && e.rootMatched(g2, off, g1, 0)
 }
 
-// rootCondition checks that every initial i-move of a is matched in b by a
-// strict weak i-move (at least one internal step). When swapped is true, a
-// is the second graph (its states are offset in the partition).
-func rootCondition(a, b *lts.Graph, p *partition, off int, swapped bool) bool {
-	aIdx := func(s int) int {
-		if swapped {
-			return s + off
-		}
-		return s
-	}
-	bIdx := func(s int) int {
-		if swapped {
-			return s
-		}
-		return s + off
-	}
-	// Strict weak internal successors of b's root: one i step then i*.
-	var bTargets []int
-	for _, e := range b.Edges[0] {
-		if e.Label.Kind == lts.LInternal {
-			bTargets = append(bTargets, epsClosure(b, e.To)...)
-		}
-	}
-	bTargets = dedup(bTargets)
-	for _, e := range a.Edges[0] {
-		if e.Label.Kind != lts.LInternal {
+// rootMatched checks that every initial i-move of a (at combined offset
+// aOff) is matched in b by a strict weak i-move (at least one internal
+// step) into the same equivalence class. The ε-closures needed are read off
+// the engine's τ-SCC condensation.
+func (e *weakEngine) rootMatched(a *lts.Graph, aOff int, b *lts.Graph, bOff int) bool {
+	var bBlocks map[int32]struct{}
+	for _, ed := range a.Edges[0] {
+		if ed.Label.Kind != lts.LInternal {
 			continue
 		}
-		matched := false
-		for _, t := range bTargets {
-			if p.sameBlock(aIdx(e.To), bIdx(t)) {
-				matched = true
-				break
+		if bBlocks == nil {
+			// Classes reachable from b's root by one i step then i*.
+			bBlocks = map[int32]struct{}{}
+			for _, be := range b.Edges[0] {
+				if be.Label.Kind != lts.LInternal {
+					continue
+				}
+				for _, d := range e.reach[e.sccOf[bOff+be.To]] {
+					bBlocks[e.block[d]] = struct{}{}
+				}
 			}
 		}
-		if !matched {
+		if _, ok := bBlocks[e.stateBlock(aOff+ed.To)]; !ok {
 			return false
 		}
 	}
@@ -293,33 +82,52 @@ func rootCondition(a, b *lts.Graph, p *partition, off int, swapped bool) bool {
 }
 
 // StrongBisimilar reports whether the initial states of g1 and g2 are
-// strongly bisimilar (every action, including i, matched one-for-one).
+// strongly bisimilar (every action, including i, matched one-for-one). It
+// runs the hashed refinement directly over the combined state-level CSR —
+// no saturation and no τ-condensation, since i is not absorbed.
 func StrongBisimilar(g1, g2 *lts.Graph) bool {
-	n1 := g1.NumStates()
-	strongAt := func(s int) map[string][]int {
-		var g *lts.Graph
-		off := 0
-		if s < n1 {
-			g = g1
-		} else {
-			g = g2
-			off = n1
-			s -= n1
+	table := lts.NewLabelTable()
+	c1 := g1.ExportCSR(table)
+	c2 := g2.ExportCSR(table)
+	n1, n2 := c1.NumStates, c2.NumStates
+	n := n1 + n2
+	off := make([]int, n+1)
+	pairs := make([]uint64, 0, len(c1.To)+len(c2.To))
+	for s := 0; s < n1; s++ {
+		for i := c1.Off[s]; i < c1.Off[s+1]; i++ {
+			pairs = append(pairs, packPair(c1.Labels[i], c1.To[i]))
 		}
-		m := map[string][]int{}
-		for _, e := range g.Edges[s] {
-			key := e.Label.Key()
-			m[key] = append(m[key], e.To+off)
-		}
-		for k := range m {
-			m[k] = dedup(m[k])
-		}
-		return m
+		off[s+1] = len(pairs)
 	}
-	p := newPartition(n1 + g2.NumStates())
-	for p.refine(strongAt) {
+	for s := 0; s < n2; s++ {
+		for i := c2.Off[s]; i < c2.Off[s+1]; i++ {
+			pairs = append(pairs, packPair(c2.Labels[i], c2.To[i]+int32(n1)))
+		}
+		off[n1+s+1] = len(pairs)
 	}
-	return p.sameBlock(0, n1)
+	block, _, _ := refinePacked(n, off, pairs, 0)
+	return block[0] == block[n1]
+}
+
+// dedup returns a sorted, duplicate-free version of xs. It never modifies
+// the input: callers pass aliased views of shared closure slices (the
+// reference checker's ε-closures among them), and sorting or compacting
+// through the caller's backing array would corrupt them.
+func dedup(xs []int) []int {
+	if len(xs) < 2 {
+		return xs
+	}
+	out := make([]int, len(xs))
+	copy(out, xs)
+	sort.Ints(out)
+	w := 1
+	for _, x := range out[1:] {
+		if x != out[w-1] {
+			out[w] = x
+			w++
+		}
+	}
+	return out[:w]
 }
 
 // WeakTraceEquivalent reports whether g1 and g2 have the same weak traces up

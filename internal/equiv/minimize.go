@@ -15,13 +15,22 @@ import (
 //
 // The initial state's class is state 0 of the quotient.
 func QuotientWeak(g *lts.Graph) *lts.Graph {
-	p := weakPartitionSingle(g)
+	e := newWeakEngine(g, nil)
+	return buildQuotient(g, func(s int) int32 { return e.stateBlock(s) }, e.table)
+}
 
+// buildQuotient constructs the class graph from a per-state block
+// assignment. The label table (fresh when nil) interns labels for the
+// per-class (label, target) edge dedup.
+func buildQuotient(g *lts.Graph, blockOf func(int) int32, table *lts.LabelTable) *lts.Graph {
+	if table == nil {
+		table = lts.NewLabelTable()
+	}
 	// Renumber blocks so the initial state's block is 0, then by first
 	// appearance.
-	blockIndex := map[int]int{}
+	blockIndex := map[int32]int{}
 	count := 0
-	assign := func(b int) int {
+	assign := func(b int32) int {
 		if id, ok := blockIndex[b]; ok {
 			return id
 		}
@@ -30,9 +39,9 @@ func QuotientWeak(g *lts.Graph) *lts.Graph {
 		count++
 		return id
 	}
-	assign(p.block[0])
-	for s := range p.block {
-		assign(p.block[s])
+	assign(blockOf(0))
+	for s := 0; s < g.NumStates(); s++ {
+		assign(blockOf(s))
 	}
 
 	n := count
@@ -45,24 +54,34 @@ func QuotientWeak(g *lts.Graph) *lts.Graph {
 		Frontier: map[int]bool{},
 	}
 
-	seen := make([]map[string]bool, n)
+	// assigned tracks which classes have adopted a representative state.
+	// (A key-emptiness check would misbehave for states whose canonical key
+	// is legitimately empty.)
+	assigned := make([]bool, n)
+	adopt := func(from, s int) {
+		if assigned[from] {
+			return
+		}
+		assigned[from] = true
+		q.Keys[from] = g.Keys[s]
+		if s < len(g.States) {
+			q.States[from] = g.States[s]
+		}
+	}
+
+	seen := make([]map[uint64]bool, n)
 	for i := range seen {
-		seen[i] = map[string]bool{}
+		seen[i] = map[uint64]bool{}
 	}
 	for s, es := range g.Edges {
-		from := blockIndex[p.block[s]]
-		if q.Keys[from] == "" {
-			q.Keys[from] = g.Keys[s]
-			if s < len(g.States) {
-				q.States[from] = g.States[s]
-			}
-		}
+		from := blockIndex[blockOf(s)]
+		adopt(from, s)
 		for _, e := range es {
-			to := blockIndex[p.block[e.To]]
+			to := blockIndex[blockOf(e.To)]
 			if e.Label.Kind == lts.LInternal && to == from {
 				continue // internal move within one class: collapsed
 			}
-			key := e.Label.Key() + ">" + itoa(to)
+			key := packPair(table.Intern(e.Label), int32(to))
 			if seen[from][key] {
 				continue
 			}
@@ -73,36 +92,16 @@ func QuotientWeak(g *lts.Graph) *lts.Graph {
 			q.Frontier[from] = true
 		}
 	}
-	// Keys of blocks containing only terminal states were not set above.
+	// Classes containing only terminal states have no edge row above; give
+	// them a representative too.
 	for s := range g.Keys {
-		from := blockIndex[p.block[s]]
-		if q.Keys[from] == "" {
-			q.Keys[from] = g.Keys[s]
-			if s < len(g.States) {
-				q.States[from] = g.States[s]
-			}
-		}
+		adopt(blockIndex[blockOf(s)], s)
 	}
 	q.Truncated = g.Truncated
 	return q
 }
 
-// weakPartitionSingle refines one graph under weak bisimilarity.
-func weakPartitionSingle(g *lts.Graph) *partition {
-	sat := saturate(g)
-	p := newPartition(g.NumStates())
-	weakAt := func(s int) map[string][]int { return sat.weak[s] }
-	for p.refine(weakAt) {
-	}
-	return p
-}
-
 // NumClassesWeak returns the number of weak-bisimilarity classes of g.
 func NumClassesWeak(g *lts.Graph) int {
-	p := weakPartitionSingle(g)
-	set := map[int]bool{}
-	for _, b := range p.block {
-		set[b] = true
-	}
-	return len(set)
+	return newWeakEngine(g, nil).blocks
 }

@@ -77,13 +77,43 @@ type endpointMetrics struct {
 	lat      *histogram
 }
 
+// EquivCounters aggregates the equivalence engine's work across every
+// verification the daemon actually computed (cache hits and joined
+// singleflight calls do not re-count).
+type EquivCounters struct {
+	// Checks counts completed weak-bisimulation checks.
+	Checks uint64 `json:"checks"`
+	// TauSCCs, SaturationEdges and RefinementRounds sum the engine's
+	// per-check counters.
+	TauSCCs          uint64 `json:"tauSccs"`
+	SaturationEdges  uint64 `json:"saturationEdges"`
+	RefinementRounds uint64 `json:"refinementRounds"`
+	// SaturateMS and RefineMS sum wall time per engine phase.
+	SaturateMS float64 `json:"saturateMs"`
+	RefineMS   float64 `json:"refineMs"`
+}
+
 // Metrics aggregates the daemon's counters: per-endpoint request totals,
-// error totals, in-flight gauges and latency histograms. All methods are
-// safe for concurrent use.
+// error totals, in-flight gauges, latency histograms, and the equivalence
+// engine's phase counters. All methods are safe for concurrent use.
 type Metrics struct {
 	mu        sync.Mutex
 	endpoints map[string]*endpointMetrics
+	equiv     EquivCounters
 	start     time.Time
+}
+
+// RecordEquiv folds one equivalence check's engine counters into the
+// aggregate.
+func (m *Metrics) RecordEquiv(tauSCCs, saturationEdges, rounds int, saturateNanos, refineNanos int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.equiv.Checks++
+	m.equiv.TauSCCs += uint64(tauSCCs)
+	m.equiv.SaturationEdges += uint64(saturationEdges)
+	m.equiv.RefinementRounds += uint64(rounds)
+	m.equiv.SaturateMS += float64(saturateNanos) / 1e6
+	m.equiv.RefineMS += float64(refineNanos) / 1e6
 }
 
 // NewMetrics returns an empty metrics registry.
@@ -126,6 +156,9 @@ func (m *Metrics) Begin(name string) func(failed bool) {
 type MetricsSnapshot struct {
 	UptimeSeconds float64                  `json:"uptimeSeconds"`
 	Endpoints     map[string]EndpointStats `json:"endpoints"`
+	// Equiv aggregates the equivalence engine's counters over every
+	// computed verification.
+	Equiv EquivCounters `json:"equiv"`
 }
 
 // Snapshot returns a consistent copy of every counter.
@@ -135,6 +168,7 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 	out := MetricsSnapshot{
 		UptimeSeconds: time.Since(m.start).Seconds(),
 		Endpoints:     make(map[string]EndpointStats, len(m.endpoints)),
+		Equiv:         m.equiv,
 	}
 	for name, ep := range m.endpoints {
 		st := EndpointStats{

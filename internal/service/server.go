@@ -206,6 +206,9 @@ type VerifyResponse struct {
 	ComposedStates int    `json:"composedStates"`
 	MessageCount   int    `json:"messageCount"`
 	Summary        string `json:"summary"`
+	// Equiv carries the equivalence engine's work counters for this check
+	// (absent when exploration truncated and the bisimulation was skipped).
+	Equiv *protoderive.EquivStats `json:"equiv,omitempty"`
 }
 
 // JobAccepted is the 202 body of POST /v1/verify?async=1.
@@ -411,7 +414,7 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) int {
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.SyncDeadline)
 	defer cancel()
 	val, outcome, err := s.compute(ctx, s.verifyPool, "verify", key, func() (any, error) {
-		return verifyResponse(svc, req.Options)
+		return s.verifyResponse(svc, req.Options)
 	})
 	if err != nil {
 		return writeError(w, err)
@@ -430,7 +433,7 @@ func (s *Server) runVerifyJob(id, key string, svc *protoderive.Service, opts Ver
 	defer cancel()
 	s.jobs.Start(id)
 	val, outcome, err := s.compute(ctx, s.verifyPool, "verify", key, func() (any, error) {
-		return verifyResponse(svc, opts)
+		return s.verifyResponse(svc, opts)
 	})
 	if err != nil {
 		s.jobs.Finish(id, nil, err)
@@ -441,7 +444,11 @@ func (s *Server) runVerifyJob(id, key string, svc *protoderive.Service, opts Ver
 	s.jobs.Finish(id, resp, nil)
 }
 
-func verifyResponse(svc *protoderive.Service, opts VerifyRequestOptions) (*VerifyResponse, error) {
+// verifyResponse runs one verification. It executes only inside the
+// computing call of a cache miss, so the engine-counter aggregation in
+// s.metrics counts each distinct verification once — cache hits and joined
+// singleflight waiters serve the stored response without re-recording.
+func (s *Server) verifyResponse(svc *protoderive.Service, opts VerifyRequestOptions) (*VerifyResponse, error) {
 	proto, err := svc.DeriveWithOptions(opts.facade())
 	if err != nil {
 		return nil, err
@@ -456,6 +463,10 @@ func verifyResponse(svc *protoderive.Service, opts VerifyRequestOptions) (*Verif
 	if err != nil {
 		return nil, err
 	}
+	if rep.Equiv != nil {
+		s.metrics.RecordEquiv(rep.Equiv.TauSCCs, rep.Equiv.SaturationEdges,
+			rep.Equiv.RefinementRounds, rep.Equiv.SaturateNanos, rep.Equiv.RefineNanos)
+	}
 	return &VerifyResponse{
 		Ok:             rep.Ok,
 		Complete:       rep.Complete,
@@ -467,6 +478,7 @@ func verifyResponse(svc *protoderive.Service, opts VerifyRequestOptions) (*Verif
 		ComposedStates: rep.ComposedStates,
 		MessageCount:   proto.MessageCount(),
 		Summary:        rep.Summary,
+		Equiv:          rep.Equiv,
 	}, nil
 }
 

@@ -185,6 +185,44 @@ func TestVerifyEndpoint(t *testing.T) {
 	}
 }
 
+// TestVerifyEquivStatsInMetrics asserts the equivalence-engine counters:
+// a complete verification carries its per-check stats in the response, the
+// /metrics aggregate records it exactly once, and a cache hit does not
+// re-count.
+func TestVerifyEquivStatsInMetrics(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	out := decode[VerifyResponse](t, postJSON(t, ts.URL+"/v1/verify", VerifyRequest{Spec: validSpec}))
+	if !out.Complete {
+		t.Fatalf("expected complete verification: %+v", out)
+	}
+	if out.Equiv == nil {
+		t.Fatal("complete verification carries no equiv stats")
+	}
+	if out.Equiv.States == 0 || out.Equiv.TauSCCs == 0 || out.Equiv.SaturationEdges == 0 ||
+		out.Equiv.RefinementRounds == 0 || out.Equiv.Blocks == 0 {
+		t.Errorf("equiv stats have zero counters: %+v", *out.Equiv)
+	}
+
+	// Repeat (cache hit) and then snapshot the aggregate.
+	decode[VerifyResponse](t, postJSON(t, ts.URL+"/v1/verify", VerifyRequest{Spec: validSpec}))
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := decode[MetricsPage](t, resp)
+	eq := page.Equiv
+	if eq.Checks != 1 {
+		t.Errorf("aggregate checks = %d, want 1 (cache hit must not re-count)", eq.Checks)
+	}
+	if eq.TauSCCs != uint64(out.Equiv.TauSCCs) || eq.SaturationEdges != uint64(out.Equiv.SaturationEdges) ||
+		eq.RefinementRounds != uint64(out.Equiv.RefinementRounds) {
+		t.Errorf("aggregate %+v does not match per-check stats %+v", eq, *out.Equiv)
+	}
+	if eq.SaturateMS < 0 || eq.RefineMS < 0 {
+		t.Errorf("negative phase times: %+v", eq)
+	}
+}
+
 func TestVerifyParallelMatchesSerial(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	serial := decode[VerifyResponse](t, postJSON(t, ts.URL+"/v1/verify", VerifyRequest{

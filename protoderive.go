@@ -384,6 +384,31 @@ type VerifyReport struct {
 	ServiceStates, ComposedStates int
 	// Summary is a human-readable report.
 	Summary string
+	// Equiv reports the equivalence engine's work for the bisimulation
+	// check. Nil when the check was skipped (truncated state space — the
+	// verdict then rests on the bounded weak-trace comparison).
+	Equiv *EquivStats
+}
+
+// EquivStats describes one equivalence check by the engine in
+// internal/equiv: the combined graph size, the τ-SCC condensation, the
+// saturated weak relation, and the hashed partition refinement.
+type EquivStats struct {
+	// States and Transitions measure the combined (service + composed)
+	// graph the check ran on.
+	States      int `json:"states"`
+	Transitions int `json:"transitions"`
+	// TauSCCs is the number of τ-SCCs — the node count of the refinement.
+	TauSCCs int `json:"tauSccs"`
+	// SaturationEdges is the size of the saturated weak relation.
+	SaturationEdges int `json:"saturationEdges"`
+	// RefinementRounds is the number of signature rounds to stabilization.
+	RefinementRounds int `json:"refinementRounds"`
+	// Blocks is the final number of equivalence classes.
+	Blocks int `json:"blocks"`
+	// SaturateNanos / RefineNanos are wall clock per engine phase.
+	SaturateNanos int64 `json:"saturateNanos"`
+	RefineNanos   int64 `json:"refineNanos"`
 }
 
 // cloneEntities deep-copies an entity map. Exploration resolves and numbers
@@ -422,7 +447,7 @@ func (p *Protocol) Verify(opts *VerifyOptions) (out *VerifyReport, err error) {
 	if err != nil {
 		return nil, err
 	}
-	return &VerifyReport{
+	out = &VerifyReport{
 		Ok:             rep.Ok(),
 		Complete:       rep.Complete,
 		WeakBisimilar:  rep.WeakBisimilar,
@@ -432,7 +457,20 @@ func (p *Protocol) Verify(opts *VerifyOptions) (out *VerifyReport, err error) {
 		ServiceStates:  rep.ServiceGraph.NumStates(),
 		ComposedStates: rep.ComposedGraph.NumStates(),
 		Summary:        rep.Summary(),
-	}, nil
+	}
+	if rep.Equiv != nil {
+		out.Equiv = &EquivStats{
+			States:           rep.Equiv.States,
+			Transitions:      rep.Equiv.Transitions,
+			TauSCCs:          rep.Equiv.TauSCCs,
+			SaturationEdges:  rep.Equiv.SaturationEdges,
+			RefinementRounds: rep.Equiv.RefinementRounds,
+			Blocks:           rep.Equiv.Blocks,
+			SaturateNanos:    rep.Equiv.SaturateNanos,
+			RefineNanos:      rep.Equiv.RefineNanos,
+		}
+	}
+	return out, nil
 }
 
 // SimOptions tunes Simulate.

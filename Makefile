@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check fuzz-smoke run-pgd bench bench-baseline bench-server bench-equiv bench-equiv-record
+.PHONY: build test check fuzz-smoke fault-matrix-smoke run-pgd bench bench-baseline bench-server bench-equiv bench-equiv-record
 
 build:
 	$(GO) build ./...
@@ -15,13 +15,21 @@ test:
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/sim/ ./internal/medium/ ./internal/compose/ ./internal/lts/ ./internal/service/ ./cmd/pgd/
+	$(MAKE) fault-matrix-smoke
 	$(MAKE) fuzz-smoke
+
+# fault-matrix-smoke sweeps the whole corpus through the fault matrix once
+# (reliable, loss, dup, reorder at caps 1 and 2) under the race detector,
+# replaying every extracted counterexample through the concrete interpreter.
+fault-matrix-smoke:
+	$(GO) test -race -run '^(TestCorpusFaultMatrix|TestCorpusReliableColumnConformant)$$' -count=1 .
 
 # fuzz-smoke runs each native fuzz target briefly; long fuzzing sessions
 # use `go test -fuzz` directly with a bigger -fuzztime.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime 5s ./internal/lotos
 	$(GO) test -run '^$$' -fuzz '^FuzzDerive$$' -fuzztime 5s .
+	$(GO) test -run '^$$' -fuzz '^FuzzVerifyFaults$$' -fuzztime 5s .
 
 # run-pgd starts the derivation daemon on :8080 (override with ARGS).
 run-pgd:

@@ -19,11 +19,18 @@
 //	-cap N        medium channel capacity (default 1)
 //	-maxstates N  exploration state cap
 //	-parallel     explore the composed state space with one worker per CPU
+//	-faults LIST  additionally verify under medium fault models (e.g.
+//	              "loss,dup,reorder" or "loss+dup"); prints a fault matrix
+//	              and the shortest replayable counterexample per failed cell
+//	-diff N       example traces collected per side on a trace mismatch (default 5)
 //	-sim N        additionally run N randomized concurrent simulations
 //	-seed S       simulation base seed
 //	-events N     simulation event bound (default 40)
 //	-optimize     remove non-essential messages (re-verifying each removal)
 //	-stats        print equivalence-engine counters (SCCs, saturation, rounds)
+//
+// The exit code reflects the reliable-medium verdict: fault-model rows are
+// diagnostic (derived protocols assume the paper's reliable medium).
 package main
 
 import (
@@ -31,6 +38,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"repro/internal/cli"
 	"repro/internal/compose"
@@ -52,6 +60,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	simRuns := fs.Int("sim", 0, "also run N randomized simulations")
 	seed := fs.Int64("seed", 1, "simulation base seed")
 	maxEvents := fs.Int("events", 40, "simulation event bound")
+	faults := fs.String("faults", "", "comma-separated fault models to also verify under (loss, dup, reorder, +combos)")
+	diffLimit := fs.Int("diff", 0, "example traces per side on trace mismatch (0 = default 5)")
 	optimize := fs.Bool("optimize", false, "remove non-essential messages")
 	handshake := fs.Bool("handshake", false, "use the Section-3.3 request/acknowledge interrupt implementation")
 	parallel := fs.Bool("parallel", false, "explore the composed state space with one worker per CPU")
@@ -83,11 +93,17 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "verify:", err)
 		return cli.ExitFail
 	}
+	models, err := compose.ParseFaultModels(*faults)
+	if err != nil {
+		fmt.Fprintln(stderr, "verify:", err)
+		return cli.ExitUsage
+	}
 	opts := compose.VerifyOptions{
-		ChannelCap: *chanCap,
-		ObsDepth:   *depth,
-		MaxStates:  *maxStates,
-		Parallel:   *parallel,
+		ChannelCap:     *chanCap,
+		ObsDepth:       *depth,
+		MaxStates:      *maxStates,
+		Parallel:       *parallel,
+		TraceDiffLimit: *diffLimit,
 	}
 	rep, err := compose.Verify(d.Service.Spec, d.Entities, opts)
 	if err != nil {
@@ -103,9 +119,19 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stdout, "the Section-3.3 implementation deviates by design (see EXPERIMENTS.md, E11)")
 	}
 
+	// The exit code reflects the reliable-medium verdict only: the derived
+	// protocols assume the paper's reliable medium, so fault rows are
+	// diagnostic, not pass/fail.
 	exitCode := cli.ExitOK
 	if !rep.Ok() {
 		exitCode = cli.ExitFail
+	}
+
+	if len(models) > 0 {
+		if err := printFaultMatrix(stdout, d, models, opts, rep); err != nil {
+			fmt.Fprintln(stderr, "verify:", err)
+			return cli.ExitFail
+		}
 	}
 
 	entities := d.Entities
@@ -134,6 +160,48 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		}
 	}
 	return exitCode
+}
+
+// printFaultMatrix verifies the protocol under each requested fault model
+// and renders the matrix: one row per model with its verdict, plus the
+// shortest replayable counterexample for every failed cell. The reliable
+// verdict (already computed) heads the matrix for comparison.
+func printFaultMatrix(w io.Writer, d *core.Derivation, models []compose.FaultModel, opts compose.VerifyOptions, reliable *compose.Report) error {
+	cells, err := compose.VerifyMatrix(d.Service.Spec, d.Entities, models, opts)
+	if err != nil {
+		return err
+	}
+	all := append([]compose.MatrixCell{{Faults: compose.Reliable, Report: reliable}}, cells...)
+	fmt.Fprintf(w, "fault matrix (cap=%d):\n", maxInt(opts.ChannelCap, 1))
+	for _, c := range all {
+		verdict := "OK"
+		switch {
+		case !c.Report.Ok() && c.Report.ComposedDeadlocks > 0:
+			verdict = "FAIL (deadlock)"
+		case !c.Report.Ok():
+			verdict = "FAIL"
+		}
+		fmt.Fprintf(w, "  %-12s %s\n", c.Faults, verdict)
+	}
+	for _, c := range cells {
+		if c.Report.Witness != nil {
+			fmt.Fprint(w, c.Report.Witness.Summary())
+			res, err := sim.ReplayWitness(d.Entities, c.Report.Witness)
+			if err != nil {
+				return fmt.Errorf("replaying %s counterexample: %w", c.Faults, err)
+			}
+			fmt.Fprintf(w, "  replay: %d steps, trace %q, terminated=%v deadlocked=%v\n",
+				res.Steps, strings.Join(res.Trace, " "), res.Terminated, res.Deadlocked)
+		}
+	}
+	return nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // printStats renders the equivalence engine's work counters (-stats).

@@ -73,6 +73,10 @@ type Config struct {
 	// keys embed per-run interned ids, so they are not comparable across
 	// System instances.
 	StringKeys bool
+	// Faults composes medium faults — message loss, duplication, adjacent
+	// reordering — into the product as internal medium transitions. The
+	// zero value is the paper's reliable medium. See FaultModel.
+	Faults FaultModel
 }
 
 // System is a set of protocol entities ready for product exploration.
@@ -387,7 +391,21 @@ type source struct {
 	sys *System
 }
 
-// Next derives all global transitions of a product state:
+// Next derives all global transitions of a product state.
+func (src *source) Next(state any) ([]lts.GenTransition, error) {
+	out, _, err := src.sys.derive(state.(*gstate), false)
+	return out, err
+}
+
+// msgString renders an interned message for diagnostics, under the lock (the
+// msgs slice header moves when another goroutine interns a new message).
+func (s *System) msgString(id int32) string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.msgs[id].String()
+}
+
+// derive computes the global transitions of a product state:
 //
 //   - a service primitive of entity i -> observable transition;
 //   - an internal action of entity i  -> internal transition;
@@ -396,11 +414,24 @@ type source struct {
 //   - a receive r_j(m) of entity i    -> internal transition consuming m,
 //     enabled when m is at the head of channel j->i (FIFO);
 //   - successful termination          -> one global δ when every entity can
-//     terminate (δ synchronizes across the interleaved entities).
-func (src *source) Next(state any) ([]lts.GenTransition, error) {
-	g := state.(*gstate)
-	sys := src.sys
-	n := len(sys.Places)
+//     terminate (δ synchronizes across the interleaved entities);
+//   - a medium fault (per Config.Faults) -> internal transition dropping,
+//     duplicating or swapping in-transit messages (see faultMoves).
+//
+// With annotate set it also returns one WitnessStep per transition — the
+// concrete description (acting entity, local transition index, channel,
+// message, fault) used to build replayable counterexamples. The two slices
+// are index-aligned.
+func (s *System) derive(g *gstate, annotate bool) ([]lts.GenTransition, []WitnessStep, error) {
+	n := len(s.Places)
+	var out []lts.GenTransition
+	var steps []WitnessStep
+	emit := func(t lts.GenTransition, st WitnessStep) {
+		out = append(out, t)
+		if annotate {
+			steps = append(steps, st)
+		}
+	}
 
 	// Partial-order reduction: if some entity's ONLY local transition is an
 	// internal action or an enabled receive, fire it as the state's sole
@@ -412,11 +443,18 @@ func (src *source) Next(state any) ([]lts.GenTransition, error) {
 	// therefore weakly equivalent to one that takes the move first.
 	// Sends are NOT eligible: with bounded channels, reordering two sends
 	// onto one channel changes the FIFO order.
-	if !sys.cfg.NoReduction {
+	//
+	// Under a fault model, only the internal-action case remains eligible:
+	// an entity-local τ move touches no channel, so it commutes with every
+	// fault transition and disables none. A receive does NOT commute with
+	// faults on its channel (losing or duplicating the head it would
+	// consume leads elsewhere), so with faults enabled the receive is
+	// explored in full interleaving with the medium's moves.
+	if !s.cfg.NoReduction {
 		for idx, localID := range g.locals {
-			ts, err := sys.localTrans(idx, localID)
+			ts, err := s.localTrans(idx, localID)
 			if err != nil {
-				return nil, fmt.Errorf("entity %d: %w", sys.Places[idx], err)
+				return nil, nil, fmt.Errorf("entity %d: %w", s.Places[idx], err)
 			}
 			if len(ts) != 1 {
 				continue
@@ -425,8 +463,10 @@ func (src *source) Next(state any) ([]lts.GenTransition, error) {
 			switch {
 			case t.label.Kind == lts.LInternal:
 				next := g.clone(idx, t.to)
-				return []lts.GenTransition{{Label: lts.Internal(), Key: sys.key(next), To: next}}, nil
-			case t.label.Kind == lts.LEvent && t.label.Ev.Kind == lotos.EvRecv:
+				emit(lts.GenTransition{Label: lts.Internal(), Key: s.key(next), To: next},
+					WitnessStep{Kind: StepInternal, Place: s.Places[idx], TIndex: 0, Label: "i"})
+				return out, steps, nil
+			case t.label.Kind == lts.LEvent && t.label.Ev.Kind == lotos.EvRecv && !s.cfg.Faults.Any():
 				slot := int(t.peer)*n + idx
 				rest, ok := consumeIDs(g.chans[slot], t.msg, t.flush)
 				if !ok {
@@ -434,21 +474,22 @@ func (src *source) Next(state any) ([]lts.GenTransition, error) {
 				}
 				next := g.cloneChans(idx, t.to)
 				next.chans[slot] = rest
-				return []lts.GenTransition{{Label: lts.Internal(), Key: sys.key(next), To: next}}, nil
+				emit(lts.GenTransition{Label: lts.Internal(), Key: s.key(next), To: next},
+					s.recvStep(idx, 0, t))
+				return out, steps, nil
 			}
 		}
 	}
 
-	var out []lts.GenTransition
 	deltaReady := 0
 	deltaTargets := make([]int32, len(g.locals))
 	for idx, localID := range g.locals {
-		ts, err := sys.localTrans(idx, localID)
+		ts, err := s.localTrans(idx, localID)
 		if err != nil {
-			return nil, fmt.Errorf("entity %d: %w", sys.Places[idx], err)
+			return nil, nil, fmt.Errorf("entity %d: %w", s.Places[idx], err)
 		}
 		sawDelta := false
-		for _, t := range ts {
+		for i, t := range ts {
 			switch t.label.Kind {
 			case lts.LDelta:
 				if !sawDelta {
@@ -458,17 +499,19 @@ func (src *source) Next(state any) ([]lts.GenTransition, error) {
 				}
 			case lts.LInternal:
 				next := g.clone(idx, t.to)
-				out = append(out, lts.GenTransition{Label: lts.Internal(), Key: sys.key(next), To: next})
+				emit(lts.GenTransition{Label: lts.Internal(), Key: s.key(next), To: next},
+					WitnessStep{Kind: StepInternal, Place: s.Places[idx], TIndex: i, Label: "i"})
 			case lts.LEvent:
 				ev := t.label.Ev
 				switch ev.Kind {
 				case lotos.EvService:
 					next := g.clone(idx, t.to)
-					out = append(out, lts.GenTransition{Label: t.label, Key: sys.key(next), To: next})
+					emit(lts.GenTransition{Label: t.label, Key: s.key(next), To: next},
+						WitnessStep{Kind: StepService, Place: s.Places[idx], TIndex: i, Ev: ev, Label: ev.String()})
 				case lotos.EvSend:
 					slot := idx*n + int(t.peer)
 					q := g.chans[slot]
-					if len(q) >= sys.cfg.ChannelCap {
+					if len(q) >= s.cfg.ChannelCap {
 						continue // channel full: the send blocks
 					}
 					next := g.cloneChans(idx, t.to)
@@ -476,7 +519,16 @@ func (src *source) Next(state any) ([]lts.GenTransition, error) {
 					copy(nq, q)
 					nq[len(q)] = t.msg
 					next.chans[slot] = nq
-					out = append(out, lts.GenTransition{Label: lts.Internal(), Key: sys.key(next), To: next})
+					var st WitnessStep
+					if annotate {
+						msg := s.msgString(t.msg)
+						st = WitnessStep{
+							Kind: StepSend, Place: s.Places[idx], TIndex: i, Ev: ev,
+							From: s.Places[idx], To: s.Places[int(t.peer)], Msg: msg,
+							Label: fmt.Sprintf("send %d->%d %s", s.Places[idx], s.Places[int(t.peer)], msg),
+						}
+					}
+					emit(lts.GenTransition{Label: lts.Internal(), Key: s.key(next), To: next}, st)
 				case lotos.EvRecv:
 					slot := int(t.peer)*n + idx
 					rest, ok := consumeIDs(g.chans[slot], t.msg, t.flush)
@@ -485,16 +537,112 @@ func (src *source) Next(state any) ([]lts.GenTransition, error) {
 					}
 					next := g.cloneChans(idx, t.to)
 					next.chans[slot] = rest
-					out = append(out, lts.GenTransition{Label: lts.Internal(), Key: sys.key(next), To: next})
+					var st WitnessStep
+					if annotate {
+						st = s.recvStep(idx, i, t)
+					}
+					emit(lts.GenTransition{Label: lts.Internal(), Key: s.key(next), To: next}, st)
 				}
 			}
 		}
 	}
 	if deltaReady == len(g.locals) && len(g.locals) > 0 {
 		next := &gstate{locals: deltaTargets, chans: g.chans}
-		out = append(out, lts.GenTransition{Label: lts.Delta(), Key: sys.key(next), To: next})
+		emit(lts.GenTransition{Label: lts.Delta(), Key: s.key(next), To: next},
+			WitnessStep{Kind: StepDelta, Place: -1, TIndex: -1, Label: "delta"})
 	}
-	return out, nil
+	if s.cfg.Faults.Any() {
+		s.faultMoves(g, annotate, emit)
+	}
+	return out, steps, nil
+}
+
+// recvStep builds the witness annotation of a receive transition.
+func (s *System) recvStep(idx, tIndex int, t cachedTrans) WitnessStep {
+	msg := s.msgString(t.msg)
+	return WitnessStep{
+		Kind: StepRecv, Place: s.Places[idx], TIndex: tIndex, Ev: t.label.Ev,
+		From: s.Places[int(t.peer)], To: s.Places[idx], Msg: msg,
+		Label: fmt.Sprintf("recv %d->%d %s", s.Places[int(t.peer)], s.Places[idx], msg),
+	}
+}
+
+// cloneFault copies the state with the channel table cloned for a medium
+// fault (entity locals are untouched and shared: every mutator of a locals
+// slice copies it first, so sharing is safe).
+func (g *gstate) cloneFault() *gstate {
+	return &gstate{locals: g.locals, chans: append([][]int32(nil), g.chans...)}
+}
+
+// faultMoves emits the medium's fault transitions of a state, one internal
+// transition per applicable (channel, position, fault) triple, in
+// deterministic order: channels by ascending slot; per channel loss, then
+// duplication, then reordering; per fault ascending queue position.
+func (s *System) faultMoves(g *gstate, annotate bool, emit func(lts.GenTransition, WitnessStep)) {
+	n := len(s.Places)
+	for slot, q := range g.chans {
+		if len(q) == 0 {
+			continue
+		}
+		fromP, toP := s.Places[slot/n], s.Places[slot%n]
+		if s.cfg.Faults.Loss {
+			for i := range q {
+				next := g.cloneFault()
+				nq := make([]int32, 0, len(q)-1)
+				nq = append(nq, q[:i]...)
+				nq = append(nq, q[i+1:]...)
+				next.chans[slot] = nq
+				var st WitnessStep
+				if annotate {
+					msg := s.msgString(q[i])
+					st = WitnessStep{
+						Kind: StepLoss, Place: -1, TIndex: -1, From: fromP, To: toP, Msg: msg, Index: i,
+						Label: fmt.Sprintf("loss %d->%d %s@%d", fromP, toP, msg, i),
+					}
+				}
+				emit(lts.GenTransition{Label: lts.Internal(), Key: s.key(next), To: next}, st)
+			}
+		}
+		if s.cfg.Faults.Duplication && len(q) < s.cfg.ChannelCap {
+			for i := range q {
+				next := g.cloneFault()
+				nq := make([]int32, 0, len(q)+1)
+				nq = append(nq, q[:i+1]...)
+				nq = append(nq, q[i])
+				nq = append(nq, q[i+1:]...)
+				next.chans[slot] = nq
+				var st WitnessStep
+				if annotate {
+					msg := s.msgString(q[i])
+					st = WitnessStep{
+						Kind: StepDuplicate, Place: -1, TIndex: -1, From: fromP, To: toP, Msg: msg, Index: i,
+						Label: fmt.Sprintf("dup %d->%d %s@%d", fromP, toP, msg, i),
+					}
+				}
+				emit(lts.GenTransition{Label: lts.Internal(), Key: s.key(next), To: next}, st)
+			}
+		}
+		if s.cfg.Faults.Reorder {
+			for i := 0; i+1 < len(q); i++ {
+				if q[i] == q[i+1] {
+					continue // swapping identical messages is a no-op
+				}
+				next := g.cloneFault()
+				nq := append([]int32(nil), q...)
+				nq[i], nq[i+1] = nq[i+1], nq[i]
+				next.chans[slot] = nq
+				var st WitnessStep
+				if annotate {
+					st = WitnessStep{
+						Kind: StepReorder, Place: -1, TIndex: -1, From: fromP, To: toP,
+						Msg: s.msgString(q[i]), Index: i,
+						Label: fmt.Sprintf("reorder %d->%d @%d", fromP, toP, i),
+					}
+				}
+				emit(lts.GenTransition{Label: lts.Internal(), Key: s.key(next), To: next}, st)
+			}
+		}
+	}
 }
 
 // Explore builds the observable global transition graph of the composed
@@ -502,6 +650,17 @@ func (src *source) Next(state any) ([]lts.GenTransition, error) {
 // parallel explorer; the serial explorer remains the oracle the parallel
 // path is cross-checked against.
 func (s *System) Explore() (*lts.Graph, error) {
+	root := s.rootState()
+	src := &source{sys: s}
+	if s.cfg.Parallel {
+		return lts.ExploreSourceParallel(src, s.key(root), root, s.cfg.Limits, s.cfg.Workers)
+	}
+	return lts.ExploreSource(src, s.key(root), root, s.cfg.Limits)
+}
+
+// rootState builds the composed initial state: every entity at its root
+// expression, all channels empty.
+func (s *System) rootState() *gstate {
 	n := len(s.Places)
 	root := &gstate{chans: make([][]int32, n*n)}
 	s.mu.Lock()
@@ -509,9 +668,5 @@ func (s *System) Explore() (*lts.Graph, error) {
 		root.locals = append(root.locals, s.internStateLocked(idx, s.Entities[p].Root.Expr))
 	}
 	s.mu.Unlock()
-	src := &source{sys: s}
-	if s.cfg.Parallel {
-		return lts.ExploreSourceParallel(src, s.key(root), root, s.cfg.Limits, s.cfg.Workers)
-	}
-	return lts.ExploreSource(src, s.key(root), root, s.cfg.Limits)
+	return root
 }

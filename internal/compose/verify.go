@@ -42,6 +42,16 @@ type Report struct {
 	// a correct derivation of a deadlock-free service).
 	ComposedDeadlocks int
 
+	// Faults is the medium fault model the composition was explored under.
+	Faults FaultModel
+
+	// Witness is the shortest counterexample for a non-conformant or
+	// deadlocking verdict: a concrete replayable transition path from the
+	// composed initial state to the divergence point. Nil when Ok, and nil
+	// for the rare failure mode with no path-shaped witness (bounded trace
+	// sets equal but weak bisimulation refuted).
+	Witness *Witness
+
 	// Equiv reports the equivalence engine's work counters (τ-SCC count,
 	// saturation size, refinement rounds, per-phase wall time). Set only
 	// when the weak-bisimulation check ran, i.e. when Complete.
@@ -81,7 +91,13 @@ func (r *Report) Summary() string {
 		fmt.Fprintf(&b, "  only in composed: %q\n", t)
 	}
 	fmt.Fprintf(&b, "composed deadlocks: %d\n", r.ComposedDeadlocks)
+	if r.Faults.Any() {
+		fmt.Fprintf(&b, "fault model: %s\n", r.Faults)
+	}
 	fmt.Fprintf(&b, "verdict: %v\n", map[bool]string{true: "OK", false: "FAIL"}[r.Ok()])
+	if r.Witness != nil {
+		b.WriteString(r.Witness.Summary())
+	}
 	return b.String()
 }
 
@@ -100,10 +116,23 @@ type VerifyOptions struct {
 	Parallel bool
 	// Workers sizes the parallel worker pool (0 = GOMAXPROCS).
 	Workers int
+	// Faults selects the medium fault model to compose in (zero value =
+	// the paper's reliable FIFO medium).
+	Faults FaultModel
+	// TraceDiffLimit caps how many example traces TraceDiff collects per
+	// side for a failed trace comparison (default DefaultTraceDiffLimit).
+	TraceDiffLimit int
+	// NoWitness skips counterexample extraction for failed verdicts (the
+	// graphs alone are wanted, e.g. in tight sweeps).
+	NoWitness bool
 }
 
 // DefaultObsDepth is the default bounded-comparison depth.
 const DefaultObsDepth = 8
+
+// DefaultTraceDiffLimit is the default per-side cap on diagnostic example
+// traces collected when the trace sets differ.
+const DefaultTraceDiffLimit = 5
 
 // Verify checks a derived protocol against its service specification:
 // it explores the service and the composed protocol system to the same
@@ -118,6 +147,9 @@ func Verify(service *lotos.Spec, entities map[int]*lotos.Spec, opts VerifyOption
 	if opts.ObsDepth <= 0 {
 		opts.ObsDepth = DefaultObsDepth
 	}
+	if opts.TraceDiffLimit <= 0 {
+		opts.TraceDiffLimit = DefaultTraceDiffLimit
+	}
 	lim := lts.Limits{MaxStates: opts.MaxStates, MaxObsDepth: opts.ObsDepth}
 
 	sg, err := lts.ExploreSpec(service, lim)
@@ -129,6 +161,7 @@ func Verify(service *lotos.Spec, entities map[int]*lotos.Spec, opts VerifyOption
 		Limits:     lim,
 		Parallel:   opts.Parallel,
 		Workers:    opts.Workers,
+		Faults:     opts.Faults,
 	})
 	if err != nil {
 		return nil, err
@@ -142,12 +175,13 @@ func Verify(service *lotos.Spec, entities map[int]*lotos.Spec, opts VerifyOption
 		ServiceGraph:  sg,
 		ComposedGraph: cg,
 		ObsDepth:      opts.ObsDepth,
+		Faults:        opts.Faults,
 	}
 	r.TracesEqual = equiv.WeakTraceEquivalent(sg, cg, opts.ObsDepth)
 	r.ComposedSubset = true
 	r.ServiceSubset = true
 	if !r.TracesEqual {
-		r.OnlyService, r.OnlyComposed = equiv.TraceDiff(sg, cg, opts.ObsDepth, 5)
+		r.OnlyService, r.OnlyComposed = equiv.TraceDiff(sg, cg, opts.ObsDepth, opts.TraceDiffLimit)
 		r.ComposedSubset = len(r.OnlyComposed) == 0
 		r.ServiceSubset = len(r.OnlyService) == 0
 	}
@@ -158,5 +192,39 @@ func Verify(service *lotos.Spec, entities map[int]*lotos.Spec, opts VerifyOption
 		r.WeakBisimilar, st = equiv.WeakBisimilarStats(sg, cg)
 		r.Equiv = &st
 	}
+	if !r.Ok() && !opts.NoWitness {
+		w, err := buildWitness(sys, r, opts)
+		if err != nil {
+			return nil, fmt.Errorf("compose: extracting counterexample: %w", err)
+		}
+		r.Witness = w
+	}
 	return r, nil
+}
+
+// MatrixCell is one entry of a fault matrix: the report of one verification
+// under one fault model.
+type MatrixCell struct {
+	Faults FaultModel
+	Report *Report
+}
+
+// VerifyMatrix runs Verify once per fault model and returns the cells in
+// input order. An empty or nil model list verifies the reliable medium only.
+// opts.Faults is overridden per cell.
+func VerifyMatrix(service *lotos.Spec, entities map[int]*lotos.Spec, models []FaultModel, opts VerifyOptions) ([]MatrixCell, error) {
+	if len(models) == 0 {
+		models = []FaultModel{Reliable}
+	}
+	out := make([]MatrixCell, 0, len(models))
+	for _, fm := range models {
+		o := opts
+		o.Faults = fm
+		r, err := Verify(service, entities, o)
+		if err != nil {
+			return nil, fmt.Errorf("compose: fault model %s: %w", fm, err)
+		}
+		out = append(out, MatrixCell{Faults: fm, Report: r})
+	}
+	return out, nil
 }

@@ -1,0 +1,132 @@
+package medium
+
+import "testing"
+
+func TestMediumSeededDuplication(t *testing.T) {
+	m := New(Config{Seed: 11, DupRate: 1.0})
+	defer m.Close()
+	m.Send(msg(1, 2, 10))
+	if got := m.InFlight(); got != 2 {
+		t.Fatalf("in flight = %d after dup-always send, want 2", got)
+	}
+	// Both copies are the same message and deliver in order.
+	if !m.TryConsume(msg(1, 2, 10)) || !m.TryConsume(msg(1, 2, 10)) {
+		t.Error("duplicate copies not consumable in order")
+	}
+	st := m.Stats()
+	if st.Sent != 1 || st.Duplicated != 1 || st.Delivered != 2 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestMediumSeededReordering(t *testing.T) {
+	m := New(Config{Seed: 12, ReorderRate: 1.0})
+	defer m.Close()
+	m.Send(msg(1, 2, 10))
+	m.Send(msg(1, 2, 11))
+	// The second send swaps with its predecessor: 11 is now at the head.
+	if !m.TryConsume(msg(1, 2, 11)) {
+		t.Errorf("expected reordered head 11, pending %v", m.Pending(1, 2))
+	}
+	if !m.TryConsume(msg(1, 2, 10)) {
+		t.Error("original message lost after reorder")
+	}
+	if st := m.Stats(); st.Reordered != 1 {
+		t.Errorf("reordered = %d, want 1", st.Reordered)
+	}
+}
+
+func TestMediumReorderingSkipsIdenticalAdjacent(t *testing.T) {
+	m := New(Config{Seed: 13, ReorderRate: 1.0})
+	defer m.Close()
+	// Two identical messages: a swap would be a no-op, so it is not counted.
+	m.Send(msg(1, 2, 10))
+	m.Send(msg(1, 2, 10))
+	if st := m.Stats(); st.Reordered != 0 {
+		t.Errorf("reordered = %d for identical adjacent messages, want 0", st.Reordered)
+	}
+	// A lone first message has no predecessor to swap with either.
+	m2 := New(Config{Seed: 13, ReorderRate: 1.0})
+	defer m2.Close()
+	m2.Send(msg(1, 2, 10))
+	if st := m2.Stats(); st.Reordered != 0 {
+		t.Errorf("reordered = %d for a single message, want 0", st.Reordered)
+	}
+}
+
+func TestMediumDropAt(t *testing.T) {
+	m := New(Config{})
+	defer m.Close()
+	m.Send(msg(1, 2, 10))
+	m.Send(msg(1, 2, 11))
+	m.Send(msg(1, 2, 12))
+	if m.DropAt(1, 2, 3) || m.DropAt(1, 2, -1) || m.DropAt(2, 1, 0) {
+		t.Error("DropAt accepted an out-of-range position")
+	}
+	if !m.DropAt(1, 2, 1) {
+		t.Fatal("DropAt(1) failed")
+	}
+	// 11 is gone; FIFO order of the survivors is preserved.
+	if !m.TryConsume(msg(1, 2, 10)) || !m.TryConsume(msg(1, 2, 12)) {
+		t.Errorf("survivors not consumable in order, pending %v", m.Pending(1, 2))
+	}
+	if st := m.Stats(); st.Dropped != 1 {
+		t.Errorf("dropped = %d, want 1", st.Dropped)
+	}
+}
+
+func TestMediumDuplicateAt(t *testing.T) {
+	m := New(Config{})
+	defer m.Close()
+	m.Send(msg(1, 2, 10))
+	m.Send(msg(1, 2, 11))
+	if m.DuplicateAt(1, 2, 2) || m.DuplicateAt(1, 2, -1) {
+		t.Error("DuplicateAt accepted an out-of-range position")
+	}
+	if !m.DuplicateAt(1, 2, 0) {
+		t.Fatal("DuplicateAt(0) failed")
+	}
+	// The copy sits adjacent to the original: 10, 10, 11.
+	want := []int{10, 10, 11}
+	got := m.Pending(1, 2)
+	if len(got) != len(want) {
+		t.Fatalf("pending %v, want nodes %v", got, want)
+	}
+	for i, g := range got {
+		if g.Node != want[i] {
+			t.Fatalf("pending %v, want nodes %v", got, want)
+		}
+	}
+	if st := m.Stats(); st.Duplicated != 1 {
+		t.Errorf("duplicated = %d, want 1", st.Duplicated)
+	}
+}
+
+func TestMediumSwapAt(t *testing.T) {
+	m := New(Config{})
+	defer m.Close()
+	m.Send(msg(1, 2, 10))
+	m.Send(msg(1, 2, 11))
+	m.Send(msg(1, 2, 12))
+	if m.SwapAt(1, 2, 2) || m.SwapAt(1, 2, -1) {
+		t.Error("SwapAt accepted a position without an adjacent pair")
+	}
+	if !m.SwapAt(1, 2, 1) {
+		t.Fatal("SwapAt(1) failed")
+	}
+	// 10, 12, 11 now.
+	for i, wantNode := range []int{10, 12, 11} {
+		if got := m.Pending(1, 2); got[i].Node != wantNode {
+			t.Fatalf("pending %v, want order 10,12,11", got)
+		}
+	}
+	if st := m.Stats(); st.Reordered != 1 {
+		t.Errorf("reordered = %d, want 1", st.Reordered)
+	}
+	// Targeted fault ops fire change notifications so blocked runners rescan.
+	gen := m.Generation()
+	m.SwapAt(1, 2, 0)
+	if m.Generation() == gen {
+		t.Error("SwapAt did not advance the generation counter")
+	}
+}

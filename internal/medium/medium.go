@@ -57,7 +57,16 @@ type Config struct {
 	// LossRate is the probability in [0,1) that a message is silently
 	// dropped — fault injection beyond the paper's reliable medium.
 	LossRate float64
-	// Seed seeds the medium's random source (delays and losses).
+	// DupRate is the probability in [0,1) that a delivered message is
+	// enqueued twice (adjacent duplicate), mirroring the compose-side
+	// FaultModel.Duplication in the runtime simulation.
+	DupRate float64
+	// ReorderRate is the probability in [0,1) that a newly sent message is
+	// swapped with its channel predecessor (adjacent reordering, the
+	// minimal FIFO violation), mirroring FaultModel.Reorder.
+	ReorderRate float64
+	// Seed seeds the medium's random source (delays, losses, duplicates,
+	// reorderings).
 	Seed int64
 }
 
@@ -69,6 +78,10 @@ type Stats struct {
 	// Flushed counts messages discarded by flushing receives (interrupt
 	// handshake control messages drain their channel).
 	Flushed int
+	// Duplicated counts extra copies enqueued by duplication faults.
+	Duplicated int
+	// Reordered counts adjacent swaps applied by reordering faults.
+	Reordered int
 }
 
 // queued is a message with its earliest visible time.
@@ -212,11 +225,85 @@ func (m *Medium) Send(msg Message) {
 	key := [2]int{msg.From, msg.To}
 	// Messages visible on arrival need no further ticker notification.
 	m.queues[key] = append(m.queues[key], queued{msg: msg, visible: visible, notified: !visible.After(time.Now())})
+	if m.cfg.DupRate > 0 && m.rng.Float64() < m.cfg.DupRate {
+		// Adjacent duplicate: same visibility, queued right behind the
+		// original.
+		m.queues[key] = append(m.queues[key], queued{msg: msg, visible: visible, notified: !visible.After(time.Now())})
+		m.stats.Duplicated++
+	}
+	if m.cfg.ReorderRate > 0 && m.rng.Float64() < m.cfg.ReorderRate {
+		// Adjacent reordering: swap the message contents of the last two
+		// queue entries (visible times stay in place, so per-channel
+		// delivery times remain monotone).
+		if q := m.queues[key]; len(q) >= 2 && q[len(q)-1].msg != q[len(q)-2].msg {
+			q[len(q)-1].msg, q[len(q)-2].msg = q[len(q)-2].msg, q[len(q)-1].msg
+			m.stats.Reordered++
+		}
+	}
 	m.gen++
 	m.cond.Broadcast()
 	if m.cfg.MaxDelay > 0 {
 		m.signalTicker()
 	}
+}
+
+// DropAt deterministically removes the message at the given queue position
+// of channel from->to (a targeted loss fault, used by counterexample
+// replay). Reports whether the position existed.
+func (m *Medium) DropAt(from, to, index int) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	key := [2]int{from, to}
+	q := m.queues[key]
+	if index < 0 || index >= len(q) {
+		return false
+	}
+	m.queues[key] = append(q[:index:index], q[index+1:]...)
+	m.stats.Dropped++
+	m.gen++
+	m.cond.Broadcast()
+	return true
+}
+
+// DuplicateAt deterministically inserts an adjacent copy of the message at
+// the given queue position of channel from->to (a targeted duplication
+// fault, used by counterexample replay). The copy inherits the original's
+// visibility. Reports whether the position existed.
+func (m *Medium) DuplicateAt(from, to, index int) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	key := [2]int{from, to}
+	q := m.queues[key]
+	if index < 0 || index >= len(q) {
+		return false
+	}
+	nq := make([]queued, 0, len(q)+1)
+	nq = append(nq, q[:index+1]...)
+	nq = append(nq, q[index])
+	nq = append(nq, q[index+1:]...)
+	m.queues[key] = nq
+	m.stats.Duplicated++
+	m.gen++
+	m.cond.Broadcast()
+	return true
+}
+
+// SwapAt deterministically swaps the message contents of queue positions
+// index and index+1 of channel from->to (a targeted adjacent-reordering
+// fault, used by counterexample replay). Visible times stay in place, so
+// delivery times remain monotone. Reports whether both positions existed.
+func (m *Medium) SwapAt(from, to, index int) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	q := m.queues[[2]int{from, to}]
+	if index < 0 || index+1 >= len(q) {
+		return false
+	}
+	q[index].msg, q[index+1].msg = q[index+1].msg, q[index].msg
+	m.stats.Reordered++
+	m.gen++
+	m.cond.Broadcast()
+	return true
 }
 
 // TryConsume removes and returns true when the wanted message is at the

@@ -1,0 +1,127 @@
+package service
+
+import (
+	"net/http"
+	"testing"
+)
+
+// TestVerifyFaultMatrixEndpoint: a verify request with fault models returns
+// one matrix cell per model, and every failed cell carries a replayable
+// counterexample.
+func TestVerifyFaultMatrixEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp := postJSON(t, ts.URL+"/v1/verify", VerifyRequest{
+		Spec:    validSpec,
+		Options: VerifyRequestOptions{Faults: []string{"loss", "dup"}},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	out := decode[VerifyResponse](t, resp)
+	if !out.Ok {
+		t.Fatalf("reliable verdict not conformant: %s", out.Summary)
+	}
+	if len(out.FaultMatrix) != 2 {
+		t.Fatalf("fault matrix has %d cells, want 2", len(out.FaultMatrix))
+	}
+	loss := out.FaultMatrix[0]
+	if loss.Faults != "loss" {
+		t.Errorf("cell 0 faults = %q, want loss", loss.Faults)
+	}
+	if loss.Ok {
+		t.Error("loss cell reports conformance for a protocol with no retransmission")
+	}
+	if loss.Witness == nil {
+		t.Fatal("failed loss cell carries no witness")
+	}
+	if len(loss.Witness.Steps) == 0 || loss.Witness.Kind == "" {
+		t.Errorf("witness incomplete: kind=%q steps=%d", loss.Witness.Kind, len(loss.Witness.Steps))
+	}
+	if dup := out.FaultMatrix[1]; dup.Faults != "dup" {
+		t.Errorf("cell 1 faults = %q, want dup", dup.Faults)
+	}
+}
+
+// TestVerifyRejectsUnknownFaultModel: validation happens before the cache is
+// consulted, so a bad model name is a 400, not a cached junk entry.
+func TestVerifyRejectsUnknownFaultModel(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	resp := postJSON(t, ts.URL+"/v1/verify", VerifyRequest{
+		Spec:    validSpec,
+		Options: VerifyRequestOptions{Faults: []string{"gremlins"}},
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	out := decode[ErrorResponse](t, resp)
+	if out.Error == "" {
+		t.Error("error body empty")
+	}
+	if st := s.CacheStats(); st.Misses != 0 {
+		t.Errorf("invalid request touched the cache: %+v", st)
+	}
+}
+
+// TestVerifyFaultFingerprintsNeverCollide: distinct fault configurations
+// yield distinct cache keys, while spelling variants of the same
+// configuration share one.
+func TestVerifyFaultFingerprintsNeverCollide(t *testing.T) {
+	configs := [][]string{
+		nil,
+		{"loss"},
+		{"dup"},
+		{"reorder"},
+		{"loss", "dup"},
+		{"loss", "dup", "reorder"},
+		{"loss+dup"},
+		{"loss+dup+reorder"},
+	}
+	seen := map[string][]string{}
+	for _, faults := range configs {
+		opts := VerifyRequestOptions{Faults: faults}
+		key := CacheKey("verify", validSpec, opts.fingerprint())
+		if prev, dup := seen[key]; dup {
+			t.Errorf("fault configs %v and %v collide on cache key %s", prev, faults, key)
+		}
+		seen[key] = faults
+	}
+
+	// Canonicalization: spelling variants and duplicates share the key.
+	base := CacheKey("verify", validSpec, VerifyRequestOptions{Faults: []string{"dup"}}.fingerprint())
+	for _, variant := range [][]string{{"duplication"}, {"DUP"}, {" dup "}, {"dup", "duplication"}} {
+		if got := CacheKey("verify", validSpec, VerifyRequestOptions{Faults: variant}.fingerprint()); got != base {
+			t.Errorf("variant %v does not share the canonical dup cache key", variant)
+		}
+	}
+
+	// A fault request never collides with the same request without faults.
+	plain := CacheKey("verify", validSpec, VerifyRequestOptions{}.fingerprint())
+	withFaults := CacheKey("verify", validSpec, VerifyRequestOptions{Faults: []string{"loss"}}.fingerprint())
+	if plain == withFaults {
+		t.Error("faulted and fault-free verify requests share a cache key")
+	}
+}
+
+// TestVerifyFaultConfigsSeparateCacheEntries: end to end, distinct fault
+// configurations are distinct cache entries and canonical variants hit.
+func TestVerifyFaultConfigsSeparateCacheEntries(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	post := func(faults ...string) VerifyResponse {
+		return decode[VerifyResponse](t, postJSON(t, ts.URL+"/v1/verify", VerifyRequest{
+			Spec:    validSpec,
+			Options: VerifyRequestOptions{Faults: faults},
+		}))
+	}
+	if out := post("loss"); out.Cached {
+		t.Error("first loss request reported cached")
+	}
+	if out := post("dup"); out.Cached {
+		t.Error("dup request hit the loss entry")
+	}
+	if out := post("duplication"); !out.Cached {
+		t.Error("canonical variant 'duplication' missed the 'dup' entry")
+	}
+	if st := s.CacheStats(); st.Misses != 2 || st.Hits != 1 {
+		t.Errorf("cache stats = %+v, want 2 misses 1 hit", st)
+	}
+}

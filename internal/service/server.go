@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	protoderive "repro"
@@ -180,11 +181,41 @@ type VerifyRequestOptions struct {
 	MaxStates  int  `json:"maxStates,omitempty"`
 	Parallel   bool `json:"parallel,omitempty"`
 	Workers    int  `json:"workers,omitempty"`
+	// Faults lists medium fault models to additionally verify under
+	// ("loss", "dup", "reorder", "+"-combinations). The response then
+	// carries a fault matrix with one cell per model, each failed cell
+	// with its shortest replayable counterexample.
+	Faults []string `json:"faults,omitempty"`
+	// TraceDiffLimit caps the diagnostic example traces per side on a
+	// failed trace comparison (0 = default 5).
+	TraceDiffLimit int `json:"traceDiffLimit,omitempty"`
+}
+
+// faultModels parses and deduplicates the requested fault models.
+func (o VerifyRequestOptions) faultModels() ([]protoderive.FaultModel, error) {
+	return protoderive.ParseFaultModels(strings.Join(o.Faults, ","))
+}
+
+// faultFingerprint renders the requested fault models canonically, so
+// spelling variants ("dup" vs "duplication") and duplicates share a cache
+// key while distinct fault configurations never collide. Unparseable input
+// is fingerprinted verbatim (the request fails validation anyway).
+func (o VerifyRequestOptions) faultFingerprint() string {
+	models, err := o.faultModels()
+	if err != nil {
+		return strings.Join(o.Faults, ",")
+	}
+	names := make([]string, len(models))
+	for i, m := range models {
+		names[i] = m.String()
+	}
+	return strings.Join(names, ",")
 }
 
 func (o VerifyRequestOptions) fingerprint() string {
-	return fmt.Sprintf("%s cap=%d obs=%d max=%d par=%t w=%d",
-		o.DeriveRequestOptions.fingerprint(), o.ChannelCap, o.ObsDepth, o.MaxStates, o.Parallel, o.Workers)
+	return fmt.Sprintf("%s cap=%d obs=%d max=%d par=%t w=%d diff=%d faults=%s",
+		o.DeriveRequestOptions.fingerprint(), o.ChannelCap, o.ObsDepth, o.MaxStates, o.Parallel, o.Workers,
+		o.TraceDiffLimit, o.faultFingerprint())
 }
 
 // VerifyRequest is the body of POST /v1/verify.
@@ -206,9 +237,26 @@ type VerifyResponse struct {
 	ComposedStates int    `json:"composedStates"`
 	MessageCount   int    `json:"messageCount"`
 	Summary        string `json:"summary"`
+	// Witness is the shortest replayable counterexample when the
+	// reliable-medium verification fails.
+	Witness *protoderive.Witness `json:"witness,omitempty"`
+	// FaultMatrix holds one cell per requested fault model (in canonical,
+	// deduplicated order), each failed cell with its counterexample.
+	FaultMatrix []FaultMatrixCell `json:"faultMatrix,omitempty"`
 	// Equiv carries the equivalence engine's work counters for this check
 	// (absent when exploration truncated and the bisimulation was skipped).
 	Equiv *protoderive.EquivStats `json:"equiv,omitempty"`
+}
+
+// FaultMatrixCell is one fault-matrix entry of a verify response.
+type FaultMatrixCell struct {
+	Faults      string               `json:"faults"`
+	Ok          bool                 `json:"ok"`
+	Complete    bool                 `json:"complete"`
+	TracesEqual bool                 `json:"tracesEqual"`
+	Deadlocks   int                  `json:"deadlocks"`
+	Summary     string               `json:"summary"`
+	Witness     *protoderive.Witness `json:"witness,omitempty"`
 }
 
 // JobAccepted is the 202 body of POST /v1/verify?async=1.
@@ -401,6 +449,9 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) int {
 	if err != nil {
 		return writeError(w, err)
 	}
+	if _, err := req.Options.faultModels(); err != nil {
+		return writeError(w, err)
+	}
 	key := CacheKey("verify", svc.String(), req.Options.fingerprint())
 
 	if async := r.URL.Query().Get("async"); async == "1" || async == "true" {
@@ -453,13 +504,15 @@ func (s *Server) verifyResponse(svc *protoderive.Service, opts VerifyRequestOpti
 	if err != nil {
 		return nil, err
 	}
-	rep, err := proto.Verify(&protoderive.VerifyOptions{
-		ChannelCap: opts.ChannelCap,
-		ObsDepth:   opts.ObsDepth,
-		MaxStates:  opts.MaxStates,
-		Parallel:   opts.Parallel,
-		Workers:    opts.Workers,
-	})
+	vo := &protoderive.VerifyOptions{
+		ChannelCap:     opts.ChannelCap,
+		ObsDepth:       opts.ObsDepth,
+		MaxStates:      opts.MaxStates,
+		Parallel:       opts.Parallel,
+		Workers:        opts.Workers,
+		TraceDiffLimit: opts.TraceDiffLimit,
+	}
+	rep, err := proto.Verify(vo)
 	if err != nil {
 		return nil, err
 	}
@@ -467,7 +520,7 @@ func (s *Server) verifyResponse(svc *protoderive.Service, opts VerifyRequestOpti
 		s.metrics.RecordEquiv(rep.Equiv.TauSCCs, rep.Equiv.SaturationEdges,
 			rep.Equiv.RefinementRounds, rep.Equiv.SaturateNanos, rep.Equiv.RefineNanos)
 	}
-	return &VerifyResponse{
+	resp := &VerifyResponse{
 		Ok:             rep.Ok,
 		Complete:       rep.Complete,
 		WeakBisimilar:  rep.WeakBisimilar,
@@ -478,8 +531,31 @@ func (s *Server) verifyResponse(svc *protoderive.Service, opts VerifyRequestOpti
 		ComposedStates: rep.ComposedStates,
 		MessageCount:   proto.MessageCount(),
 		Summary:        rep.Summary,
+		Witness:        rep.Witness,
 		Equiv:          rep.Equiv,
-	}, nil
+	}
+	models, err := opts.faultModels()
+	if err != nil {
+		return nil, err
+	}
+	if len(models) > 0 {
+		cells, err := proto.VerifyMatrix(models, vo)
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range cells {
+			resp.FaultMatrix = append(resp.FaultMatrix, FaultMatrixCell{
+				Faults:      c.Faults,
+				Ok:          c.Report.Ok,
+				Complete:    c.Report.Complete,
+				TracesEqual: c.Report.TracesEqual,
+				Deadlocks:   c.Report.Deadlocks,
+				Summary:     c.Report.Summary,
+				Witness:     c.Report.Witness,
+			})
+		}
+	}
+	return resp, nil
 }
 
 func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) int {

@@ -1,0 +1,274 @@
+package sim
+
+// This file implements counterexample replay: it re-executes a
+// compose.Witness step-for-step through the runtime entity interpreter and
+// medium, confirming that the abstract counterexample found by state-space
+// exploration is a real execution of the concrete system. Replay is fully
+// deterministic: the witness pins every choice (which entity moves, which
+// local transition fires, which medium fault strikes which queue position),
+// and the medium runs with zero delay and no random faults — targeted
+// DropAt/DuplicateAt/SwapAt calls reproduce the fault events instead.
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/compose"
+	"repro/internal/lotos"
+	"repro/internal/lts"
+	"repro/internal/medium"
+)
+
+// ReplayResult is the outcome of replaying a witness.
+type ReplayResult struct {
+	// Trace is the observable projection of the replayed execution: the
+	// service primitives fired, plus a final "delta" on termination. It
+	// must equal the witness's Trace.
+	Trace []string
+	// Terminated reports that the replay ended in global successful
+	// termination (the witness path took the δ transition).
+	Terminated bool
+	// Deadlocked reports that after the final step no entity move, no
+	// global δ, and no fault of the witness's model is enabled — the
+	// deadlock the witness claims.
+	Deadlocked bool
+	// Steps is the number of witness steps executed.
+	Steps int
+	// MediumStats snapshots the medium counters after the replay (sent,
+	// delivered, dropped, duplicated, reordered, flushed).
+	MediumStats medium.Stats
+}
+
+// replayer holds the concrete system state during a witness replay.
+type replayer struct {
+	places []int
+	envs   map[int]*lts.Env
+	cur    map[int]lotos.Expr
+	med    *medium.Medium
+	cap    int
+	faults compose.FaultModel
+}
+
+// ReplayWitness re-executes a counterexample through the runtime interpreter
+// and returns what the concrete system did. Each witness step is validated
+// against the entity's derived transitions (the step's TIndex must select a
+// transition of the step's kind) or against the medium's queues (a fault
+// step must find its queue position occupied); any mismatch is an error —
+// the witness does not describe a real execution.
+func ReplayWitness(entities map[int]*lotos.Spec, w *compose.Witness) (*ReplayResult, error) {
+	if w == nil {
+		return nil, fmt.Errorf("sim: nil witness")
+	}
+	// A service with no primitives derives zero entities; its (empty)
+	// composed system is a root deadlock and the witness has no steps, so
+	// replay degenerates to the final enabledness check.
+	rp := &replayer{
+		envs:   map[int]*lts.Env{},
+		cur:    map[int]lotos.Expr{},
+		med:    medium.New(medium.Config{}),
+		cap:    w.ChannelCap,
+		faults: w.Faults,
+	}
+	if rp.cap <= 0 {
+		rp.cap = compose.DefaultChannelCap
+	}
+	defer rp.med.Close()
+	for p, sp := range entities {
+		env, err := lts.EnvFor(sp)
+		if err != nil {
+			return nil, fmt.Errorf("sim: entity %d: %w", p, err)
+		}
+		rp.places = append(rp.places, p)
+		rp.envs[p] = env
+		rp.cur[p] = sp.Root.Expr
+	}
+	sort.Ints(rp.places)
+
+	res := &ReplayResult{}
+	for i, st := range w.Steps {
+		if err := rp.step(st, res); err != nil {
+			return nil, fmt.Errorf("sim: witness step %d [%s] %s: %w", i+1, st.Kind, st.Label, err)
+		}
+		res.Steps++
+	}
+	if !res.Terminated {
+		enabled, err := rp.anyEnabled()
+		if err != nil {
+			return nil, err
+		}
+		res.Deadlocked = !enabled
+	}
+	res.MediumStats = rp.med.Stats()
+	return res, nil
+}
+
+// step executes one witness step against the concrete system.
+func (rp *replayer) step(st compose.WitnessStep, res *ReplayResult) error {
+	switch st.Kind {
+	case compose.StepDelta:
+		for _, p := range rp.places {
+			ts, err := rp.envs[p].Transitions(rp.cur[p])
+			if err != nil {
+				return err
+			}
+			found := false
+			for _, t := range ts {
+				if t.Label.Kind == lts.LDelta {
+					rp.cur[p] = t.To
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("entity %d cannot terminate", p)
+			}
+		}
+		res.Trace = append(res.Trace, "delta")
+		res.Terminated = true
+		return nil
+	case compose.StepLoss:
+		if !rp.med.DropAt(st.From, st.To, st.Index) {
+			return fmt.Errorf("channel %d->%d has no message at position %d", st.From, st.To, st.Index)
+		}
+		return nil
+	case compose.StepDuplicate:
+		if len(rp.med.Pending(st.From, st.To)) >= rp.cap {
+			return fmt.Errorf("channel %d->%d is at capacity %d, duplication not enabled", st.From, st.To, rp.cap)
+		}
+		if !rp.med.DuplicateAt(st.From, st.To, st.Index) {
+			return fmt.Errorf("channel %d->%d has no message at position %d", st.From, st.To, st.Index)
+		}
+		return nil
+	case compose.StepReorder:
+		if !rp.med.SwapAt(st.From, st.To, st.Index) {
+			return fmt.Errorf("channel %d->%d has no adjacent pair at position %d", st.From, st.To, st.Index)
+		}
+		return nil
+	}
+
+	// Entity step: the TIndex selects the fired transition in derivation
+	// order — the same order compose's exploration caches.
+	ts, err := rp.envs[st.Place].Transitions(rp.cur[st.Place])
+	if err != nil {
+		return err
+	}
+	if st.TIndex < 0 || st.TIndex >= len(ts) {
+		return fmt.Errorf("entity %d has %d transitions, witness selects #%d", st.Place, len(ts), st.TIndex)
+	}
+	t := ts[st.TIndex]
+	switch st.Kind {
+	case compose.StepInternal:
+		if t.Label.Kind != lts.LInternal {
+			return fmt.Errorf("entity %d transition #%d is %s, not internal", st.Place, st.TIndex, t.Label)
+		}
+	case compose.StepService:
+		if t.Label.Kind != lts.LEvent || t.Label.Ev.Kind != lotos.EvService {
+			return fmt.Errorf("entity %d transition #%d is %s, not a service primitive", st.Place, st.TIndex, t.Label)
+		}
+		res.Trace = append(res.Trace, t.Label.Ev.String())
+	case compose.StepSend:
+		if t.Label.Kind != lts.LEvent || t.Label.Ev.Kind != lotos.EvSend {
+			return fmt.Errorf("entity %d transition #%d is %s, not a send", st.Place, st.TIndex, t.Label)
+		}
+		ev := t.Label.Ev
+		if len(rp.med.Pending(st.Place, ev.Place)) >= rp.cap {
+			return fmt.Errorf("channel %d->%d is at capacity %d, send blocks", st.Place, ev.Place, rp.cap)
+		}
+		rp.med.Send(medium.MessageFor(st.Place, ev))
+	case compose.StepRecv:
+		if t.Label.Kind != lts.LEvent || t.Label.Ev.Kind != lotos.EvRecv {
+			return fmt.Errorf("entity %d transition #%d is %s, not a receive", st.Place, st.TIndex, t.Label)
+		}
+		ev := t.Label.Ev
+		want := medium.WantedBy(st.Place, ev)
+		consumed := false
+		if flushingRecv(ev) {
+			consumed = rp.med.TryConsumeFlush(want)
+		} else {
+			consumed = rp.med.TryConsume(want)
+		}
+		if !consumed {
+			return fmt.Errorf("entity %d cannot consume %s", st.Place, want)
+		}
+	default:
+		return fmt.Errorf("unknown witness step kind %q", st.Kind)
+	}
+	rp.cur[st.Place] = t.To
+	return nil
+}
+
+// anyEnabled mirrors the composition's global-transition enabledness at the
+// replayer's current state: an entity internal action or service primitive,
+// a send with channel capacity left, a receive whose message is consumable,
+// a global δ (every entity termination-ready), or a fault of the witness's
+// model applicable to some queue.
+func (rp *replayer) anyEnabled() (bool, error) {
+	deltaReady := 0
+	for _, p := range rp.places {
+		ts, err := rp.envs[p].Transitions(rp.cur[p])
+		if err != nil {
+			return false, err
+		}
+		sawDelta := false
+		for _, t := range ts {
+			switch t.Label.Kind {
+			case lts.LDelta:
+				sawDelta = true
+			case lts.LInternal:
+				return true, nil
+			case lts.LEvent:
+				ev := t.Label.Ev
+				switch ev.Kind {
+				case lotos.EvService:
+					return true, nil
+				case lotos.EvSend:
+					if len(rp.med.Pending(p, ev.Place)) < rp.cap {
+						return true, nil
+					}
+				case lotos.EvRecv:
+					want := medium.WantedBy(p, ev)
+					if flushingRecv(ev) {
+						if rp.med.TryConsumeFlushCheck(want) {
+							return true, nil
+						}
+					} else if rp.med.TryConsumeCheck(want) {
+						return true, nil
+					}
+				}
+			}
+		}
+		if sawDelta {
+			deltaReady++
+		}
+	}
+	if deltaReady == len(rp.places) && len(rp.places) > 0 {
+		return true, nil
+	}
+	if rp.faults.Any() {
+		for _, from := range rp.places {
+			for _, to := range rp.places {
+				if from == to {
+					continue
+				}
+				q := rp.med.Pending(from, to)
+				if len(q) == 0 {
+					continue
+				}
+				if rp.faults.Loss {
+					return true, nil
+				}
+				if rp.faults.Duplication && len(q) < rp.cap {
+					return true, nil
+				}
+				if rp.faults.Reorder {
+					for i := 0; i+1 < len(q); i++ {
+						if q[i] != q[i+1] {
+							return true, nil
+						}
+					}
+				}
+			}
+		}
+	}
+	return false, nil
+}

@@ -25,6 +25,7 @@ package protoderive
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"time"
 
 	"repro/internal/attr"
@@ -349,9 +350,52 @@ func (p *Protocol) ComplexityTable() string {
 	return core.MessageComplexityMode(p.d.Service, p.d.Opts.Interrupt).String()
 }
 
+// FaultModel selects medium faults for Verify to compose into the product
+// exploration: message loss, duplication, and adjacent reordering. The zero
+// value is the paper's reliable FIFO medium.
+type FaultModel struct {
+	Loss        bool `json:"loss,omitempty"`
+	Duplication bool `json:"duplication,omitempty"`
+	Reorder     bool `json:"reorder,omitempty"`
+}
+
+// String renders the model canonically ("reliable", "loss", "loss+dup", …).
+func (f FaultModel) String() string { return f.compose().String() }
+
+// Any reports whether at least one fault is enabled.
+func (f FaultModel) Any() bool { return f.Loss || f.Duplication || f.Reorder }
+
+func (f FaultModel) compose() compose.FaultModel {
+	return compose.FaultModel{Loss: f.Loss, Duplication: f.Duplication, Reorder: f.Reorder}
+}
+
+// ParseFaultModel parses one fault-model spec: "reliable" (or "none", ""),
+// or a "+"-joined combination of "loss", "dup", "reorder".
+func ParseFaultModel(s string) (FaultModel, error) {
+	f, err := compose.ParseFaultModel(s)
+	if err != nil {
+		return FaultModel{}, specErr(err)
+	}
+	return FaultModel{Loss: f.Loss, Duplication: f.Duplication, Reorder: f.Reorder}, nil
+}
+
+// ParseFaultModels parses a comma-separated list of fault-model specs, e.g.
+// "loss,dup,loss+reorder". Duplicates are collapsed.
+func ParseFaultModels(s string) ([]FaultModel, error) {
+	fs, err := compose.ParseFaultModels(s)
+	if err != nil {
+		return nil, specErr(err)
+	}
+	out := make([]FaultModel, len(fs))
+	for i, f := range fs {
+		out[i] = FaultModel{Loss: f.Loss, Duplication: f.Duplication, Reorder: f.Reorder}
+	}
+	return out, nil
+}
+
 // VerifyOptions tunes Verify. The zero value (or nil) selects defaults:
 // channel capacity 1, observable depth 8, default state cap, serial
-// exploration.
+// exploration, reliable medium.
 type VerifyOptions struct {
 	ChannelCap int
 	ObsDepth   int
@@ -364,6 +408,11 @@ type VerifyOptions struct {
 	Parallel bool
 	// Workers overrides the parallel worker-pool size (0 = GOMAXPROCS).
 	Workers int
+	// Faults composes medium faults into the product (zero = reliable).
+	Faults FaultModel
+	// TraceDiffLimit caps the diagnostic example traces collected per side
+	// on a failed trace comparison (default 5).
+	TraceDiffLimit int
 }
 
 // VerifyReport is the verification verdict for the Section-5 correctness
@@ -384,10 +433,90 @@ type VerifyReport struct {
 	ServiceStates, ComposedStates int
 	// Summary is a human-readable report.
 	Summary string
+	// Faults is the canonical name of the fault model the verification ran
+	// under ("reliable" for the paper's medium).
+	Faults string
+	// Witness is the shortest counterexample for a failed verdict: a
+	// concrete transition path from the composed initial state to the
+	// divergence, replayable with Protocol.Replay. Nil when Ok (and for
+	// the rare bisimulation-only failure with no path-shaped witness).
+	Witness *Witness
 	// Equiv reports the equivalence engine's work for the bisimulation
 	// check. Nil when the check was skipped (truncated state space — the
 	// verdict then rests on the bounded weak-trace comparison).
 	Equiv *EquivStats
+}
+
+// WitnessStep is one transition of a counterexample: an entity move (its
+// place and the index of the fired local transition) or a medium fault (the
+// channel and queue position struck).
+type WitnessStep struct {
+	Kind   string `json:"kind"`
+	Place  int    `json:"place"`
+	TIndex int    `json:"tIndex"`
+	Label  string `json:"label"`
+	From   int    `json:"from,omitempty"`
+	To     int    `json:"to,omitempty"`
+	Msg    string `json:"msg,omitempty"`
+	Index  int    `json:"index,omitempty"`
+}
+
+// Witness is a shortest counterexample for a failed verification. Kind is
+// "deadlock", "extra-trace" or "missing-trace"; Steps is the concrete path;
+// Trace its observable projection. For a missing-trace witness, Missing is
+// the service trace the composition cannot realize and MatchedPrefix the
+// number of its labels the path realizes before diverging.
+type Witness struct {
+	Kind          string        `json:"kind"`
+	Faults        string        `json:"faults"`
+	ChannelCap    int           `json:"channelCap"`
+	Steps         []WitnessStep `json:"steps"`
+	Trace         []string      `json:"trace"`
+	Missing       []string      `json:"missing,omitempty"`
+	MatchedPrefix int           `json:"matchedPrefix,omitempty"`
+
+	inner *compose.Witness // retained for Replay
+}
+
+// Summary renders the witness as an indented step listing.
+func (w *Witness) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "counterexample (%s, faults=%s, cap=%d, %d steps):\n",
+		w.Kind, w.Faults, w.ChannelCap, len(w.Steps))
+	for i, st := range w.Steps {
+		fmt.Fprintf(&b, "  %2d. [%s] %s\n", i+1, st.Kind, st.Label)
+	}
+	if len(w.Trace) > 0 {
+		fmt.Fprintf(&b, "  observable trace: %s\n", strings.Join(w.Trace, " "))
+	}
+	if w.Kind == "missing-trace" {
+		fmt.Fprintf(&b, "  service trace not realized: %s (composition realizes the first %d label(s))\n",
+			strings.Join(w.Missing, " "), w.MatchedPrefix)
+	}
+	return b.String()
+}
+
+// witnessReport mirrors a compose witness into the facade type.
+func witnessReport(w *compose.Witness) *Witness {
+	if w == nil {
+		return nil
+	}
+	out := &Witness{
+		Kind:          w.Kind,
+		Faults:        w.Faults.String(),
+		ChannelCap:    w.ChannelCap,
+		Trace:         append([]string(nil), w.Trace...),
+		Missing:       append([]string(nil), w.Missing...),
+		MatchedPrefix: w.MatchedPrefix,
+		inner:         w,
+	}
+	for _, st := range w.Steps {
+		out.Steps = append(out.Steps, WitnessStep{
+			Kind: st.Kind, Place: st.Place, TIndex: st.TIndex, Label: st.Label,
+			From: st.From, To: st.To, Msg: st.Msg, Index: st.Index,
+		})
+	}
+	return out
 }
 
 // EquivStats describes one equivalence check by the engine in
@@ -438,16 +567,23 @@ func (p *Protocol) Verify(opts *VerifyOptions) (out *VerifyReport, err error) {
 		o = *opts
 	}
 	rep, err := compose.Verify(lotos.CloneSpec(p.d.Service.Spec), cloneEntities(p.d.Entities), compose.VerifyOptions{
-		ChannelCap: o.ChannelCap,
-		ObsDepth:   o.ObsDepth,
-		MaxStates:  o.MaxStates,
-		Parallel:   o.Parallel,
-		Workers:    o.Workers,
+		ChannelCap:     o.ChannelCap,
+		ObsDepth:       o.ObsDepth,
+		MaxStates:      o.MaxStates,
+		Parallel:       o.Parallel,
+		Workers:        o.Workers,
+		Faults:         o.Faults.compose(),
+		TraceDiffLimit: o.TraceDiffLimit,
 	})
 	if err != nil {
 		return nil, err
 	}
-	out = &VerifyReport{
+	return verifyReport(rep), nil
+}
+
+// verifyReport mirrors a compose report into the facade type.
+func verifyReport(rep *compose.Report) *VerifyReport {
+	out := &VerifyReport{
 		Ok:             rep.Ok(),
 		Complete:       rep.Complete,
 		WeakBisimilar:  rep.WeakBisimilar,
@@ -457,6 +593,8 @@ func (p *Protocol) Verify(opts *VerifyOptions) (out *VerifyReport, err error) {
 		ServiceStates:  rep.ServiceGraph.NumStates(),
 		ComposedStates: rep.ComposedGraph.NumStates(),
 		Summary:        rep.Summary(),
+		Faults:         rep.Faults.String(),
+		Witness:        witnessReport(rep.Witness),
 	}
 	if rep.Equiv != nil {
 		out.Equiv = &EquivStats{
@@ -470,7 +608,81 @@ func (p *Protocol) Verify(opts *VerifyOptions) (out *VerifyReport, err error) {
 			RefineNanos:      rep.Equiv.RefineNanos,
 		}
 	}
-	return out, nil
+	return out
+}
+
+// FaultCell is one entry of a fault matrix: the verdict of one verification
+// under one fault model.
+type FaultCell struct {
+	// Faults is the canonical fault-model name.
+	Faults string `json:"faults"`
+	// Report is the full verification report for this cell.
+	Report *VerifyReport `json:"report"`
+}
+
+// VerifyMatrix verifies the protocol once per fault model — a fault matrix
+// row per model, in input order — reusing the given options for everything
+// but the fault model. An empty model list verifies the reliable medium
+// only. Like Verify, it operates on clones and is safe for concurrent use.
+func (p *Protocol) VerifyMatrix(models []FaultModel, opts *VerifyOptions) (cells []FaultCell, err error) {
+	defer guard(&err)
+	var o VerifyOptions
+	if opts != nil {
+		o = *opts
+	}
+	cms := make([]compose.FaultModel, len(models))
+	for i, f := range models {
+		cms[i] = f.compose()
+	}
+	mx, err := compose.VerifyMatrix(lotos.CloneSpec(p.d.Service.Spec), cloneEntities(p.d.Entities), cms, compose.VerifyOptions{
+		ChannelCap:     o.ChannelCap,
+		ObsDepth:       o.ObsDepth,
+		MaxStates:      o.MaxStates,
+		Parallel:       o.Parallel,
+		Workers:        o.Workers,
+		TraceDiffLimit: o.TraceDiffLimit,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range mx {
+		cells = append(cells, FaultCell{Faults: c.Faults.String(), Report: verifyReport(c.Report)})
+	}
+	return cells, nil
+}
+
+// ReplayResult reports the re-execution of a counterexample through the
+// concrete runtime (entity interpreter + medium).
+type ReplayResult struct {
+	// Trace is the observable projection of the replayed execution.
+	Trace []string `json:"trace"`
+	// Terminated and Deadlocked classify where the replay ended.
+	Terminated bool `json:"terminated"`
+	Deadlocked bool `json:"deadlocked"`
+	// Steps is the number of witness steps executed.
+	Steps int `json:"steps"`
+}
+
+// Replay re-executes a counterexample produced by Verify or VerifyMatrix on
+// this protocol step-for-step through the runtime interpreter and medium,
+// confirming the abstract counterexample is a real execution. The witness
+// must carry its extraction context (only witnesses returned by this
+// process's Verify calls do; deserialized ones do not).
+func (p *Protocol) Replay(w *Witness) (out *ReplayResult, err error) {
+	defer guard(&err)
+	if w == nil || w.inner == nil {
+		return nil, errors.New("protoderive: witness carries no replay context (was it deserialized?)")
+	}
+	res, err := sim.ReplayWitness(cloneEntities(p.d.Entities), w.inner)
+	if err != nil {
+		return nil, err
+	}
+	return &ReplayResult{
+		Trace:      append([]string(nil), res.Trace...),
+		Terminated: res.Terminated,
+		Deadlocked: res.Deadlocked,
+		Steps:      res.Steps,
+	}, nil
 }
 
 // SimOptions tunes Simulate.

@@ -1,0 +1,291 @@
+package protoderive
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// matrixModels is the fault-matrix column set: the paper's reliable medium
+// plus each single-fault model.
+var matrixModels = []FaultModel{{}, {Loss: true}, {Duplication: true}, {Reorder: true}}
+
+// matrixOpts are the corpus matrix bounds — the same budget as the main
+// corpus sweep, so the matrix stays fast enough for the -race CI run.
+var matrixOpts = VerifyOptions{ObsDepth: 4, MaxStates: 20000}
+
+// cellGolden freezes the expected verdict of one fault-matrix cell.
+type cellGolden struct {
+	ok      bool
+	witness string // witness kind, "" = no witness extracted
+}
+
+// corpusMatrixGolden is the recorded fault matrix of the corpus at
+// matrixOpts bounds, keyed "spec/capN/model".
+//
+// Reading the table:
+//   - The reliable column is conformant for every spec the Section-5
+//     theorem covers. example3 and example6 use the disabling operator "[>",
+//     which the theorem excludes; the Section-3.3 broadcast implementation
+//     deviates by design (EXPERIMENTS.md, E11), so those rows fail even
+//     reliably. multiinstance is conformant (see
+//     TestMultiinstanceReliableConformantAtDeeperBounds) but its ~100k-state
+//     composition overflows the sweep's MaxStates budget, and the bounded
+//     comparison then reports a spurious trace difference — with the
+//     explored composed graph truncated, witness extraction is
+//     conservatively skipped, hence ok=false with no witness.
+//   - Message loss deadlocks every protocol: the derived entities assume a
+//     reliable medium (Section 6), so a lost synchronization message stalls
+//     its receiver forever.
+//   - Duplication at capacity 1 is degenerate: a full channel absorbs the
+//     duplicate (the buffer has no room for a second copy), so cap-1 cells
+//     equal the reliable column. At capacity 2 the duplicate arrives and
+//     the protocols deadlock on the unconsumed extra copy.
+//   - Adjacent reordering needs two distinct messages in flight on one
+//     channel; at these depths the corpus protocols keep at most one
+//     distinct message per channel, so reorder columns match reliable ones
+//     (except example3's cap-2 row, where reordering the interrupt
+//     broadcast against a data message yields an extra trace).
+var corpusMatrixGolden = map[string]cellGolden{
+	"anbn/cap1/reliable": {ok: true}, "anbn/cap1/loss": {ok: false, witness: "deadlock"},
+	"anbn/cap1/dup": {ok: true}, "anbn/cap1/reorder": {ok: true},
+	"anbn/cap2/reliable": {ok: true}, "anbn/cap2/loss": {ok: false, witness: "deadlock"},
+	"anbn/cap2/dup": {ok: false, witness: "deadlock"}, "anbn/cap2/reorder": {ok: true},
+
+	"example3/cap1/reliable": {ok: false, witness: "deadlock"}, "example3/cap1/loss": {ok: false, witness: "deadlock"},
+	"example3/cap1/dup": {ok: false, witness: "deadlock"}, "example3/cap1/reorder": {ok: false, witness: "deadlock"},
+	"example3/cap2/reliable": {ok: false, witness: "deadlock"}, "example3/cap2/loss": {ok: false, witness: "deadlock"},
+	"example3/cap2/dup": {ok: false, witness: "deadlock"}, "example3/cap2/reorder": {ok: false, witness: "extra-trace"},
+
+	"example5/cap1/reliable": {ok: true}, "example5/cap1/loss": {ok: false, witness: "deadlock"},
+	"example5/cap1/dup": {ok: true}, "example5/cap1/reorder": {ok: true},
+	"example5/cap2/reliable": {ok: true}, "example5/cap2/loss": {ok: false, witness: "deadlock"},
+	"example5/cap2/dup": {ok: false, witness: "deadlock"}, "example5/cap2/reorder": {ok: true},
+
+	"example6/cap1/reliable": {ok: false, witness: "extra-trace"}, "example6/cap1/loss": {ok: false, witness: "deadlock"},
+	"example6/cap1/dup": {ok: false, witness: "extra-trace"}, "example6/cap1/reorder": {ok: false, witness: "extra-trace"},
+	"example6/cap2/reliable": {ok: false, witness: "extra-trace"}, "example6/cap2/loss": {ok: false, witness: "deadlock"},
+	"example6/cap2/dup": {ok: false, witness: "extra-trace"}, "example6/cap2/reorder": {ok: false, witness: "extra-trace"},
+
+	"multiinstance/cap1/reliable": {ok: false}, "multiinstance/cap1/loss": {ok: false},
+	"multiinstance/cap1/dup": {ok: false}, "multiinstance/cap1/reorder": {ok: false},
+	"multiinstance/cap2/reliable": {ok: false}, "multiinstance/cap2/loss": {ok: false},
+	"multiinstance/cap2/dup": {ok: false}, "multiinstance/cap2/reorder": {ok: false},
+
+	"session/cap1/reliable": {ok: true}, "session/cap1/loss": {ok: false, witness: "deadlock"},
+	"session/cap1/dup": {ok: true}, "session/cap1/reorder": {ok: true},
+	"session/cap2/reliable": {ok: true}, "session/cap2/loss": {ok: false, witness: "deadlock"},
+	"session/cap2/dup": {ok: false, witness: "deadlock"}, "session/cap2/reorder": {ok: true},
+
+	"transport/cap1/reliable": {ok: true}, "transport/cap1/loss": {ok: false, witness: "deadlock"},
+	"transport/cap1/dup": {ok: true}, "transport/cap1/reorder": {ok: true},
+	"transport/cap2/reliable": {ok: true}, "transport/cap2/loss": {ok: false, witness: "deadlock"},
+	"transport/cap2/dup": {ok: false, witness: "deadlock"}, "transport/cap2/reorder": {ok: true},
+}
+
+// usesDisable reports whether the spec source uses the disabling operator,
+// which the Section-5 theorem excludes (the derived interrupt broadcast
+// deviates by design — EXPERIMENTS.md, E11).
+func usesDisable(src string) bool { return strings.Contains(src, "[>") }
+
+// corpusProtocols parses and derives every corpus spec, skipping the ones
+// that violate restrictions R1–R3.
+func corpusProtocols(t *testing.T) map[string]*Protocol {
+	t.Helper()
+	out := map[string]*Protocol{}
+	for _, file := range corpusFiles(t) {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		svc, err := ParseService(string(src))
+		if err != nil {
+			var se *SpecError
+			if errors.As(err, &se) && se.Rule != "" {
+				continue
+			}
+			t.Fatalf("%s: parse: %v", file, err)
+		}
+		proto, err := svc.Derive()
+		if err != nil {
+			t.Fatalf("%s: derive: %v", file, err)
+		}
+		out[strings.TrimSuffix(filepath.Base(file), ".spec")] = proto
+	}
+	if len(out) == 0 {
+		t.Fatal("no usable corpus specs")
+	}
+	return out
+}
+
+// TestCorpusFaultMatrix verifies every corpus spec under every fault model
+// at channel capacities 1 and 2, asserting:
+//
+//   - the verdict and witness kind of every cell match the recorded golden
+//     matrix (in particular, the reliable column is conformant for every
+//     theorem-covered spec);
+//   - serial and parallel exploration agree on every cell (verdict, state
+//     counts, deadlock counts);
+//   - every extracted counterexample replays through the runtime
+//     interpreter to exactly the reported divergence (deadlock cells
+//     re-deadlock, and the replayed observable trace equals the witness
+//     trace).
+func TestCorpusFaultMatrix(t *testing.T) {
+	protos := corpusProtocols(t)
+	for name, proto := range protos {
+		for _, chanCap := range []int{1, 2} {
+			opts := matrixOpts
+			opts.ChannelCap = chanCap
+			if name == "multiinstance" {
+				// Every multiinstance cell overflows any affordable budget
+				// (the composition has ~100k states; fault models grow it
+				// further), so the verdicts are identical truncation
+				// artifacts at 4k and at 20k states — use the cheap budget.
+				opts.MaxStates = 4000
+			}
+			serial, err := proto.VerifyMatrix(matrixModels, &opts)
+			if err != nil {
+				t.Fatalf("%s cap=%d: %v", name, chanCap, err)
+			}
+			popts := opts
+			popts.Parallel = true
+			popts.Workers = 4
+			parallel, err := proto.VerifyMatrix(matrixModels, &popts)
+			if err != nil {
+				t.Fatalf("%s cap=%d parallel: %v", name, chanCap, err)
+			}
+			for i, cell := range serial {
+				key := name + "/cap" + string(rune('0'+chanCap)) + "/" + cell.Faults
+				t.Run(key, func(t *testing.T) {
+					golden, known := corpusMatrixGolden[key]
+					if !known {
+						t.Fatalf("cell %s missing from golden matrix: ok=%v", key, cell.Report.Ok)
+					}
+					gotWitness := ""
+					if cell.Report.Witness != nil {
+						gotWitness = cell.Report.Witness.Kind
+					}
+					if cell.Report.Ok != golden.ok || gotWitness != golden.witness {
+						t.Errorf("golden mismatch: got ok=%v witness=%q, want ok=%v witness=%q\n%s",
+							cell.Report.Ok, gotWitness, golden.ok, golden.witness, cell.Report.Summary)
+					}
+
+					// Serial and parallel exploration must agree cell by cell.
+					pc := parallel[i]
+					if pc.Faults != cell.Faults {
+						t.Fatalf("parallel matrix order diverged: %s vs %s", pc.Faults, cell.Faults)
+					}
+					if pc.Report.Ok != cell.Report.Ok ||
+						pc.Report.TracesEqual != cell.Report.TracesEqual ||
+						pc.Report.Deadlocks != cell.Report.Deadlocks ||
+						pc.Report.ServiceStates != cell.Report.ServiceStates ||
+						pc.Report.ComposedStates != cell.Report.ComposedStates {
+						t.Errorf("serial and parallel disagree:\nserial:   ok=%v eq=%v dead=%d states=%d\nparallel: ok=%v eq=%v dead=%d states=%d",
+							cell.Report.Ok, cell.Report.TracesEqual, cell.Report.Deadlocks, cell.Report.ComposedStates,
+							pc.Report.Ok, pc.Report.TracesEqual, pc.Report.Deadlocks, pc.Report.ComposedStates)
+					}
+
+					// Every extracted counterexample must replay to its
+					// reported divergence.
+					if cell.Report.Witness != nil {
+						res, err := proto.Replay(cell.Report.Witness)
+						if err != nil {
+							t.Fatalf("replay: %v\n%s", err, cell.Report.Witness.Summary())
+						}
+						if !reflect.DeepEqual(res.Trace, cell.Report.Witness.Trace) &&
+							!(len(res.Trace) == 0 && len(cell.Report.Witness.Trace) == 0) {
+							t.Errorf("replayed trace %q, witness trace %q", res.Trace, cell.Report.Witness.Trace)
+						}
+						if cell.Report.Witness.Kind == "deadlock" && !res.Deadlocked {
+							t.Errorf("deadlock witness did not deadlock on replay:\n%s", cell.Report.Witness.Summary())
+						}
+					}
+
+					// A failed cell over fully-explored graphs must carry a
+					// witness; truncated graphs may conservatively skip
+					// extraction (multiinstance).
+					if !cell.Report.Ok && cell.Report.Complete && cell.Report.Witness == nil {
+						t.Error("non-conformant complete cell carries no witness")
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestCorpusReliableColumnConformant pins the acceptance claim directly:
+// under the paper's reliable FIFO medium every theorem-covered corpus spec
+// verifies conformant at the sweep bounds. Disabling specs (the "[>"
+// operator) are excluded by the Section-5 theorem itself; multiinstance is
+// covered by TestMultiinstanceReliableConformantAtDeeperBounds (its verdict
+// at sweep bounds is a MaxStates-truncation artifact).
+func TestCorpusReliableColumnConformant(t *testing.T) {
+	for _, file := range corpusFiles(t) {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		name := strings.TrimSuffix(filepath.Base(file), ".spec")
+		if usesDisable(string(src)) || name == "multiinstance" {
+			continue
+		}
+		svc, err := ParseService(string(src))
+		if err != nil {
+			var se *SpecError
+			if errors.As(err, &se) && se.Rule != "" {
+				continue
+			}
+			t.Fatalf("%s: %v", name, err)
+		}
+		proto, err := svc.Derive()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, chanCap := range []int{1, 2} {
+			opts := matrixOpts
+			opts.ChannelCap = chanCap
+			rep, err := proto.Verify(&opts)
+			if err != nil {
+				t.Fatalf("%s cap=%d: %v", name, chanCap, err)
+			}
+			if !rep.Ok {
+				t.Errorf("%s cap=%d: reliable medium not conformant:\n%s", name, chanCap, rep.Summary)
+			}
+			if rep.Faults != "reliable" {
+				t.Errorf("%s: report fault model = %q, want reliable", name, rep.Faults)
+			}
+		}
+	}
+}
+
+// TestMultiinstanceReliableConformantAtDeeperBounds shows the multiinstance
+// rows of the golden matrix are a truncation artifact, not a real
+// non-conformance: with a state budget that covers its ~100k-state
+// composition, the reliable verdict is conformant.
+func TestMultiinstanceReliableConformantAtDeeperBounds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("deep multiinstance exploration is slow")
+	}
+	src, err := os.ReadFile(filepath.Join("specs", "multiinstance.spec"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := ParseService(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	proto, err := svc.Derive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := proto.Verify(&VerifyOptions{ChannelCap: 1, ObsDepth: 4, MaxStates: 300000, Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok {
+		t.Errorf("multiinstance not conformant at 300k states:\n%s", rep.Summary)
+	}
+}

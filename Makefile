@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check fuzz-smoke fault-matrix-smoke run-pgd bench bench-baseline bench-server bench-equiv bench-equiv-record
+.PHONY: build test check fuzz-smoke fault-matrix-smoke run-pgd bench bench-baseline bench-server bench-equiv bench-equiv-record bench-fsm bench-fsm-record
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime 5s ./internal/lotos
 	$(GO) test -run '^$$' -fuzz '^FuzzDerive$$' -fuzztime 5s .
 	$(GO) test -run '^$$' -fuzz '^FuzzVerifyFaults$$' -fuzztime 5s .
+	$(GO) test -run '^$$' -fuzz '^FuzzCompile$$' -fuzztime 5s ./internal/fsm
 
 # run-pgd starts the derivation daemon on :8080 (override with ARGS).
 run-pgd:
@@ -58,3 +59,17 @@ bench-equiv:
 # bench-equiv-record writes the PR 3 performance record.
 bench-equiv-record:
 	$(GO) test -run '^$$' -bench '^(BenchmarkWeakBisim|BenchmarkQuotient)$$' -benchtime 3x -benchmem -json . | tee BENCH_PR3.json
+
+# bench-fsm sweeps the corpus through both execution engines — the AST
+# interpreter and the compiled table-driven machines (steps/s, allocs/op) —
+# plus the compiler itself and the daemon's compiled derive path. Also the
+# CI smoke (benchtime=1x, must complete).
+bench-fsm:
+	$(GO) test -run '^$$' -bench '^(BenchmarkSimulate|BenchmarkCompile)$$' -benchtime $(or $(BENCHTIME),1x) -benchmem .
+	$(GO) test -run '^$$' -bench '^BenchmarkServerDeriveCompile' -benchtime $(or $(BENCHTIME),1x) -benchmem ./internal/service
+
+# bench-fsm-record writes the PR 5 performance record (time-based benchtime
+# so the steps/s and the ast-vs-fsm ratio are stable).
+bench-fsm-record:
+	($(GO) test -run '^$$' -bench '^(BenchmarkSimulate|BenchmarkCompile)$$' -benchtime 0.5s -benchmem -json . ; \
+	 $(GO) test -run '^$$' -bench '^BenchmarkServerDeriveCompile' -benchtime 0.5s -benchmem -json ./internal/service) | tee BENCH_PR5.json

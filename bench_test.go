@@ -22,6 +22,7 @@ import (
 	"repro/internal/compose"
 	"repro/internal/core"
 	"repro/internal/equiv"
+	"repro/internal/fsm"
 	"repro/internal/lotos"
 	"repro/internal/lts"
 	"repro/internal/mutate"
@@ -509,6 +510,105 @@ func BenchmarkSimulationThroughput(b *testing.B) {
 		totalEvents += len(res.Trace)
 	}
 	b.ReportMetric(float64(totalEvents)/b.Elapsed().Seconds(), "events/s")
+}
+
+// --- engine comparison: AST interpreter vs compiled FSM tables -----------------
+
+// simulateBenchCases are the engine-comparison workloads: every corpus spec
+// whose entities all compile (the ">= 2x" acceptance target measures
+// steady-state stepping, which a mixed fleet would dilute with interpreted
+// entities), plus a long synthetic chain whose runs are dominated by
+// per-step work rather than setup.
+func simulateBenchCases(b *testing.B) map[string]map[int]*lotos.Spec {
+	b.Helper()
+	cases := map[string]map[int]*lotos.Spec{
+		"chain60": deriveBenchEntities(b, chainSpec(3, 60)),
+	}
+	for _, file := range corpusFiles(b) {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			b.Fatal(err)
+		}
+		d, err := core.Derive(mustSpec(b, string(src)), core.Options{})
+		if err != nil {
+			continue
+		}
+		fleet := fsm.CompileEntities(d.Entities, fsm.Config{})
+		if len(fleet.Errors) > 0 {
+			continue // unbounded entities: no all-compiled configuration exists
+		}
+		cases[strings.TrimSuffix(filepath.Base(file), ".spec")] = d.Entities
+	}
+	return cases
+}
+
+func deriveBenchEntities(b *testing.B, src string) map[int]*lotos.Spec {
+	b.Helper()
+	d, err := core.Derive(mustSpec(b, src), core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d.Entities
+}
+
+// BenchmarkSimulate runs each workload through deterministic lockstep
+// simulation under both engines with identical seeds — the runs execute the
+// same transitions, so time/op, steps/s and allocs/op isolate the engine
+// difference: the AST interpreter re-derives each state's transitions from
+// the syntax tree, the FSM engine reads precompiled rows. The fleet is
+// compiled once outside the timer (Protocol.Simulate caches it the same way).
+func BenchmarkSimulate(b *testing.B) {
+	for name, entities := range simulateBenchCases(b) {
+		fleet := fsm.CompileEntities(entities, fsm.Config{})
+		if len(fleet.Errors) > 0 {
+			b.Fatalf("%s: unexpected compile errors: %v", name, fleet.Errors)
+		}
+		for _, engine := range []sim.Engine{sim.EngineAST, sim.EngineFSM} {
+			b.Run(name+"/"+string(engine), func(b *testing.B) {
+				b.ReportAllocs()
+				steps := 0
+				for i := 0; i < b.N; i++ {
+					cfg := sim.Config{Seed: int64(i + 1), Lockstep: true, MaxEvents: 80}
+					if engine == sim.EngineFSM {
+						cfg.Engine = engine
+						cfg.Fleet = fleet
+					}
+					res, err := sim.Run(entities, cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					// Steps = observable service primitives + medium messages
+					// delivered: every transition the run actually executed
+					// except internal moves.
+					steps += len(res.Trace) + res.Medium.Delivered
+				}
+				b.ReportMetric(float64(steps)/b.Elapsed().Seconds(), "steps/s")
+			})
+		}
+	}
+}
+
+// BenchmarkCompile measures compilation itself — explore, intern, quotient,
+// table layout — per corpus entity fleet. This is the one-off cost Simulate
+// amortizes over runs.
+func BenchmarkCompile(b *testing.B) {
+	for name, entities := range simulateBenchCases(b) {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			var states int
+			for i := 0; i < b.N; i++ {
+				fleet := fsm.CompileEntities(entities, fsm.Config{})
+				if len(fleet.Errors) > 0 {
+					b.Fatal("compile errors")
+				}
+				states = 0
+				for _, m := range fleet.Machines {
+					states += m.MinStates()
+				}
+			}
+			b.ReportMetric(float64(states), "min-states")
+		})
+	}
 }
 
 func BenchmarkFacadeWorkflow(b *testing.B) {

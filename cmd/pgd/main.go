@@ -20,8 +20,11 @@
 //	-derive-workers 0   derive/explore pool size (0 = GOMAXPROCS)
 //	-verify-workers 0   verify pool size (0 = GOMAXPROCS)
 //
-// Endpoints: POST /v1/derive, POST /v1/verify (add ?async=1 for a job),
-// POST /v1/explore, GET /v1/jobs/{id}, GET /healthz, GET /metrics.
+// Endpoints: POST /v1/derive (set options.compile to also compile each
+// entity to a minimized table-driven FSM and get per-entity state and
+// transition counts), POST /v1/verify (add ?async=1 for a job),
+// POST /v1/explore, GET /v1/jobs/{id}, GET /healthz, GET /metrics
+// (includes compiled-vs-interpreted entity counters).
 package main
 
 import (

@@ -15,14 +15,24 @@ import (
 //
 // The initial state's class is state 0 of the quotient.
 func QuotientWeak(g *lts.Graph) *lts.Graph {
+	q, _ := QuotientWeakMap(g)
+	return q
+}
+
+// QuotientWeakMap is QuotientWeak returning, alongside the quotient, the
+// per-state class assignment: classOf[s] is the quotient state holding input
+// state s. The FSM compiler (internal/fsm) uses the assignment to relate its
+// exact execution tables to the minimized canonical tables.
+func QuotientWeakMap(g *lts.Graph) (*lts.Graph, []int32) {
 	e := newWeakEngine(g, nil)
 	return buildQuotient(g, func(s int) int32 { return e.stateBlock(s) }, e.table)
 }
 
 // buildQuotient constructs the class graph from a per-state block
-// assignment. The label table (fresh when nil) interns labels for the
-// per-class (label, target) edge dedup.
-func buildQuotient(g *lts.Graph, blockOf func(int) int32, table *lts.LabelTable) *lts.Graph {
+// assignment, returning it with the renumbered per-state class map. The
+// label table (fresh when nil) interns labels for the per-class (label,
+// target) edge dedup.
+func buildQuotient(g *lts.Graph, blockOf func(int) int32, table *lts.LabelTable) (*lts.Graph, []int32) {
 	if table == nil {
 		table = lts.NewLabelTable()
 	}
@@ -94,11 +104,14 @@ func buildQuotient(g *lts.Graph, blockOf func(int) int32, table *lts.LabelTable)
 	}
 	// Classes containing only terminal states have no edge row above; give
 	// them a representative too.
+	classOf := make([]int32, g.NumStates())
 	for s := range g.Keys {
-		adopt(blockIndex[blockOf(s)], s)
+		c := blockIndex[blockOf(s)]
+		adopt(c, s)
+		classOf[s] = int32(c)
 	}
 	q.Truncated = g.Truncated
-	return q
+	return q, classOf
 }
 
 // NumClassesWeak returns the number of weak-bisimilarity classes of g.

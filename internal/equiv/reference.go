@@ -319,5 +319,6 @@ func RefNumClassesWeak(g *lts.Graph) int {
 func RefQuotientWeak(g *lts.Graph) *lts.Graph {
 	p := refWeakPartitionSingle(g)
 	blockOf := func(s int) int32 { return int32(p.block[s]) }
-	return buildQuotient(g, blockOf, nil)
+	q, _ := buildQuotient(g, blockOf, nil)
+	return q
 }

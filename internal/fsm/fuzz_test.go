@@ -1,0 +1,145 @@
+package fsm_test
+
+// FuzzCompile drives arbitrary specifications through parse, derive and
+// FSM compilation, holding the compiler to its three contracts on every
+// input the fuzzer discovers:
+//
+//   - compilation never panics: each entity either yields a machine or a
+//     structured *CompileError naming its place;
+//   - minimization is exact: a machine's minimized layer has one state per
+//     weak-bisimulation class of its exact layer, never more or fewer;
+//   - fallback composes: whatever mix of compiled and overflowed entities
+//     comes out, the fleet runs — a lockstep simulation over the mixed
+//     fleet must execute without an engine error.
+//
+// The test lives in the external package so it can drive the sim runtime
+// over the compiled fleets without an import cycle.
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/equiv"
+	"repro/internal/fsm"
+	"repro/internal/lotos"
+	"repro/internal/sim"
+)
+
+func seedCompileCorpus(f *testing.F) {
+	matches, err := filepath.Glob(filepath.Join("..", "..", "specs", "*.spec"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if len(matches) == 0 {
+		f.Fatal("no seed specs found under specs/")
+	}
+	for _, m := range matches {
+		data, err := os.ReadFile(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(data))
+	}
+	for _, s := range []string{
+		// Finite shapes of every operator the compiler flattens.
+		"SPEC a1; b2; exit ENDSPEC",
+		"SPEC (a1; b2; exit [] c1; d2; exit) [> e2; d2; exit ENDSPEC",
+		"SPEC a1; exit >> (b2; exit ||| c3; exit) >> d1; exit ENDSPEC",
+		"SPEC (a1; s4; exit ||| b2; s4; exit) |[s4]| s4; c4; exit ENDSPEC",
+		// Unbounded recursion: must overflow into a structured fallback.
+		"SPEC A WHERE PROC A = (a1; A >> b2; exit) [] (a1; b2; exit) END ENDSPEC",
+		// Degenerate service with no primitives: derives zero entities.
+		"SPEC exit ENDSPEC",
+		"",
+	} {
+		f.Add(s)
+	}
+}
+
+func FuzzCompile(f *testing.F) {
+	seedCompileCorpus(f)
+	f.Fuzz(func(t *testing.T, src string) {
+		sp, err := lotos.Parse(src)
+		if err != nil {
+			return // ungrammatical input: the parser's contract, not ours
+		}
+		d, err := core.Derive(sp, core.Options{})
+		if err != nil {
+			return // restriction violations reject the service before compilation
+		}
+		fleet := fsm.CompileEntities(d.Entities, fsm.Config{MaxStates: 256})
+		for place := range d.Entities {
+			m := fleet.Machines[place]
+			if m == nil {
+				ce := fleet.Errors[place]
+				if ce == nil {
+					t.Fatalf("entity %d: no machine and no compile error", place)
+				}
+				if ce.Place != place || ce.Error() == "" {
+					t.Fatalf("entity %d: malformed compile error %+v", place, ce)
+				}
+				continue
+			}
+			if fleet.Errors[place] != nil {
+				t.Fatalf("entity %d: both a machine and a compile error", place)
+			}
+			// Minimization is exact: one minimized state per weak class.
+			if want := equiv.NumClassesWeak(m.Graph()); m.MinStates() != want {
+				t.Fatalf("entity %d: %d minimized states, want %d weak classes\ninput: %q",
+					place, m.MinStates(), want, src)
+			}
+			// Tables are well-formed: every transition targets a real state.
+			for _, to := range m.To {
+				if to < 0 || int(to) >= m.NumStates() {
+					t.Fatalf("entity %d: transition target %d out of range [0,%d)", place, to, m.NumStates())
+				}
+			}
+			for _, to := range m.MinTo {
+				if to < 0 || int(to) >= m.MinStates() {
+					t.Fatalf("entity %d: minimized target %d out of range [0,%d)", place, to, m.MinStates())
+				}
+			}
+		}
+		if len(d.Entities) == 0 {
+			return // nothing to run
+		}
+		// Fallback composes: the mixed fleet must run exactly like the AST
+		// interpreter. A spec can legitimately fail at runtime (e.g.
+		// unguarded recursion exceeds the interpreter's unfold bound), but
+		// then it must fail under the pure AST engine too — the FSM engine
+		// may not introduce or mask errors, and on success the lockstep
+		// traces must be identical.
+		base := sim.Config{Seed: 1, MaxEvents: 8, Timeout: 250 * time.Millisecond, Lockstep: true}
+		astRes, astErr := sim.Run(d.Entities, base)
+		fsmCfg := base
+		fsmCfg.Engine = sim.EngineFSM
+		fsmCfg.Fleet = fleet
+		res, err := sim.Run(d.Entities, fsmCfg)
+		if (err == nil) != (astErr == nil) {
+			t.Fatalf("engines disagree on runnability: ast err=%v, fsm err=%v\ninput: %q", astErr, err, src)
+		}
+		if err != nil {
+			return // both engines reject the spec at runtime — consistent
+		}
+		if astRes.TimedOut || res.TimedOut {
+			return // the wall-clock cut is not deterministic across engines
+		}
+		if !reflect.DeepEqual(astRes.TraceStrings(), res.TraceStrings()) {
+			t.Fatalf("traces diverge\n ast: %v\n fsm: %v\ninput: %q",
+				astRes.TraceStrings(), res.TraceStrings(), src)
+		}
+		for p := range d.Entities {
+			want := sim.EngineAST
+			if fleet.Machines[p] != nil {
+				want = sim.EngineFSM
+			}
+			if res.Engines[p] != want {
+				t.Fatalf("entity %d ran %s, want %s", p, res.Engines[p], want)
+			}
+		}
+	})
+}

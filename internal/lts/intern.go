@@ -56,6 +56,12 @@ func (t *LabelTable) InternKey(key string) LabelID {
 // Label returns the representative label first interned under id.
 func (t *LabelTable) Label(id LabelID) Label { return t.labels[id] }
 
+// Key returns the canonical key string interned under id — the
+// content-derived total order the FSM compiler sorts minimized transition
+// rows by, so compiled tables are reproducible independently of exploration
+// and interning order.
+func (t *LabelTable) Key(id LabelID) string { return t.labels[id].Key() }
+
 // Observable reports whether id was interned from an observable label.
 func (t *LabelTable) Observable(id LabelID) bool { return t.labels[id].Observable() }
 

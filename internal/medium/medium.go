@@ -13,7 +13,7 @@ package medium
 
 import (
 	"fmt"
-	"math/rand"
+	"math/rand/v2"
 	"sync"
 	"time"
 
@@ -121,7 +121,7 @@ func New(cfg Config) *Medium {
 	m := &Medium{
 		queues:      map[[2]int][]queued{},
 		lastVisible: map[[2]int]time.Time{},
-		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		rng:         rand.New(rand.NewPCG(uint64(cfg.Seed), 0x9e3779b97f4a7c15)),
 		cfg:         cfg,
 		wake:        make(chan struct{}, 1),
 	}
@@ -215,7 +215,7 @@ func (m *Medium) Send(msg Message) {
 	}
 	visible := time.Now()
 	if m.cfg.MaxDelay > 0 {
-		visible = visible.Add(time.Duration(m.rng.Int63n(int64(m.cfg.MaxDelay))))
+		visible = visible.Add(time.Duration(m.rng.Int64N(int64(m.cfg.MaxDelay))))
 		key := [2]int{msg.From, msg.To}
 		if last := m.lastVisible[key]; visible.Before(last) {
 			visible = last

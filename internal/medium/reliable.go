@@ -1,7 +1,7 @@
 package medium
 
 import (
-	"math/rand"
+	"math/rand/v2"
 	"sync"
 	"time"
 )
@@ -103,7 +103,7 @@ func NewReliable(cfg ReliableConfig) *Reliable {
 	}
 	r := &Reliable{
 		chans: map[[2]int]*chanState{},
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		rng:   rand.New(rand.NewPCG(uint64(cfg.Seed), 0x9e3779b97f4a7c15)),
 		cfg:   cfg,
 	}
 	r.cond = sync.NewCond(&r.mu)
@@ -125,7 +125,7 @@ func (r *Reliable) wireDelay() time.Duration {
 	if r.cfg.MaxDelay <= 0 {
 		return 0
 	}
-	return time.Duration(r.rng.Int63n(int64(r.cfg.MaxDelay)))
+	return time.Duration(r.rng.Int64N(int64(r.cfg.MaxDelay)))
 }
 
 // lost flips the wire-loss coin.

@@ -84,6 +84,41 @@ func BenchmarkServerDeriveCached(b *testing.B) {
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
 }
 
+// BenchmarkServerDeriveCompileCold posts a distinct spec on every iteration
+// with the compile option on: every request misses the cache and runs
+// parse + derive + FSM compilation of both entities. The req/s delta against
+// ServerDeriveCold is the compilation surcharge on the cold path; the
+// entities/s metric is the compiled-path throughput in machines produced.
+func BenchmarkServerDeriveCompileCold(b *testing.B) {
+	ts := httptest.NewServer(New(Config{CacheEntries: 1 << 20}))
+	defer ts.Close()
+	opts := DeriveRequestOptions{Compile: true}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		drain(b, benchPost(b, ts.Client(), ts.URL+"/v1/derive", DeriveRequest{Spec: benchSpec(i), Options: opts}))
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+	b.ReportMetric(float64(2*b.N)/b.Elapsed().Seconds(), "entities/s")
+}
+
+// BenchmarkServerDeriveCompileCached posts the same compile-enabled request
+// on every iteration: after the first, the fully compiled response (tables
+// and counts included) is served from the content-addressed cache.
+func BenchmarkServerDeriveCompileCached(b *testing.B) {
+	ts := httptest.NewServer(New(Config{}))
+	defer ts.Close()
+	spec := benchSpec(0)
+	opts := DeriveRequestOptions{Compile: true}
+	drain(b, benchPost(b, ts.Client(), ts.URL+"/v1/derive", DeriveRequest{Spec: spec, Options: opts})) // warm
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		drain(b, benchPost(b, ts.Client(), ts.URL+"/v1/derive", DeriveRequest{Spec: spec, Options: opts}))
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}
+
 // BenchmarkServerVerifyConcurrent drives the verify endpoint from 32
 // concurrent clients over a rotating set of 8 distinct specs (so both the
 // cache and the verify pool are exercised) and reports client-observed

@@ -103,7 +103,19 @@ func TestLoadConcurrentClients(t *testing.T) {
 				}
 			}
 
-			resp := postJSON(t, ts.URL+"/v1/verify", VerifyRequest{Spec: spec, Options: vopts})
+			// One compile-enabled derive: a distinct computation key (the
+			// compile flag is part of the fingerprint) whose response must
+			// carry a fully compiled two-entity fleet.
+			resp := postJSON(t, ts.URL+"/v1/derive", DeriveRequest{
+				Spec: spec, Options: DeriveRequestOptions{Compile: true},
+			})
+			derivePosts.Add(1)
+			if out := decode[DeriveResponse](t, resp); resp.StatusCode != http.StatusOK ||
+				out.Compile == nil || out.Compile.Compiled != 2 || out.Compile.Fallback != 0 {
+				t.Errorf("compile derive status %d compile %+v", resp.StatusCode, out.Compile)
+			}
+
+			resp = postJSON(t, ts.URL+"/v1/verify", VerifyRequest{Spec: spec, Options: vopts})
 			syncVerifyPosts.Add(1)
 			if out := decode[VerifyResponse](t, resp); resp.StatusCode != http.StatusOK || !out.Ok {
 				t.Errorf("verify status %d", resp.StatusCode)
@@ -154,9 +166,9 @@ func TestLoadConcurrentClients(t *testing.T) {
 
 	// --- Reconciliation ---------------------------------------------------
 	// Distinct computation keys over the whole test: 1 shared derive +
-	// 8 distinct derives + 8 verifies (async shares the sync key) +
-	// 8 explores.
-	wantKeys := uint64(1 + distinctSpecs + distinctSpecs + distinctSpecs)
+	// 8 distinct derives + 8 compile-enabled derives (the compile flag is
+	// part of the key) + 8 verifies (async shares the sync key) + 8 explores.
+	wantKeys := uint64(1 + distinctSpecs + distinctSpecs + distinctSpecs + distinctSpecs)
 	st = s.CacheStats()
 	if st.Misses != wantKeys {
 		t.Errorf("computations = %d, want %d (every repeat must hit cache or singleflight); stats %+v",
@@ -204,5 +216,12 @@ func TestLoadConcurrentClients(t *testing.T) {
 	js := page.Jobs
 	if js.Created != asyncJobs || js.Finished != asyncJobs || js.Failed != 0 {
 		t.Errorf("job stats = %+v, want %d clean completions", js, asyncJobs)
+	}
+	// Compile counters record computed requests only: one per distinct
+	// compile key, two compiled entities each, no interpreter fallbacks.
+	if cc := page.Compile; cc.Requests != distinctSpecs ||
+		cc.CompiledEntities != 2*distinctSpecs || cc.InterpretedEntities != 0 {
+		t.Errorf("compile counters = %+v, want %d requests / %d compiled entities",
+			cc, distinctSpecs, 2*distinctSpecs)
 	}
 }

@@ -93,6 +93,22 @@ type EquivCounters struct {
 	RefineMS   float64 `json:"refineMs"`
 }
 
+// CompileCounters aggregates the FSM compiler's work across every
+// derivation the daemon computed with the compile option (cache hits and
+// joined singleflight calls do not re-count).
+type CompileCounters struct {
+	// Requests counts computed derivations that asked for compilation.
+	Requests uint64 `json:"requests"`
+	// CompiledEntities counts entities that compiled to tables;
+	// InterpretedEntities counts the ones that fell back to the AST
+	// interpreter (state space over the cap).
+	CompiledEntities    uint64 `json:"compiledEntities"`
+	InterpretedEntities uint64 `json:"interpretedEntities"`
+	// States and Transitions sum the minimized machine sizes.
+	States      uint64 `json:"states"`
+	Transitions uint64 `json:"transitions"`
+}
+
 // Metrics aggregates the daemon's counters: per-endpoint request totals,
 // error totals, in-flight gauges, latency histograms, and the equivalence
 // engine's phase counters. All methods are safe for concurrent use.
@@ -100,7 +116,19 @@ type Metrics struct {
 	mu        sync.Mutex
 	endpoints map[string]*endpointMetrics
 	equiv     EquivCounters
+	compile   CompileCounters
 	start     time.Time
+}
+
+// RecordCompile folds one compile report into the aggregate.
+func (m *Metrics) RecordCompile(compiled, interpreted, states, transitions int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.compile.Requests++
+	m.compile.CompiledEntities += uint64(compiled)
+	m.compile.InterpretedEntities += uint64(interpreted)
+	m.compile.States += uint64(states)
+	m.compile.Transitions += uint64(transitions)
 }
 
 // RecordEquiv folds one equivalence check's engine counters into the
@@ -159,6 +187,9 @@ type MetricsSnapshot struct {
 	// Equiv aggregates the equivalence engine's counters over every
 	// computed verification.
 	Equiv EquivCounters `json:"equiv"`
+	// Compile aggregates the FSM compiler's counters over every computed
+	// derivation that requested compilation.
+	Compile CompileCounters `json:"compile"`
 }
 
 // Snapshot returns a consistent copy of every counter.
@@ -169,6 +200,7 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		UptimeSeconds: time.Since(m.start).Seconds(),
 		Endpoints:     make(map[string]EndpointStats, len(m.endpoints)),
 		Equiv:         m.equiv,
+		Compile:       m.compile,
 	}
 	for name, ep := range m.endpoints {
 		st := EndpointStats{

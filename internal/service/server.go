@@ -18,6 +18,7 @@
 // Endpoints:
 //
 //	POST /v1/derive          spec -> entity specs + attributes + complexity
+//	                         (+ per-entity FSM compilation with "compile")
 //	POST /v1/verify          spec -> derive + compose + equivalence verdict
 //	POST /v1/verify?async=1  same, as an async job -> {"jobId": ...}
 //	POST /v1/explore         spec -> bounded LTS exploration report
@@ -129,11 +130,19 @@ func (s *Server) JobStats() JobStats { return s.jobs.Stats() }
 
 // --- request / response types ----------------------------------------------
 
-// DeriveRequestOptions mirrors protoderive.DeriveOptions on the wire.
+// DeriveRequestOptions mirrors protoderive.DeriveOptions on the wire, plus
+// the FSM-compilation request.
 type DeriveRequestOptions struct {
 	KeepRedundant      bool `json:"keepRedundant,omitempty"`
 	Dialect1986        bool `json:"dialect1986,omitempty"`
 	InterruptHandshake bool `json:"interruptHandshake,omitempty"`
+	// Compile additionally compiles every derived entity to a minimized
+	// table-driven machine and reports per-entity state/transition counts.
+	Compile bool `json:"compile,omitempty"`
+	// CompileMaxStates caps each entity's state space during compilation
+	// (0 = the compiler default). Entities over the cap are reported as
+	// interpreter fallbacks, not errors.
+	CompileMaxStates int `json:"compileMaxStates,omitempty"`
 }
 
 func (o DeriveRequestOptions) facade() protoderive.DeriveOptions {
@@ -145,7 +154,8 @@ func (o DeriveRequestOptions) facade() protoderive.DeriveOptions {
 }
 
 func (o DeriveRequestOptions) fingerprint() string {
-	return fmt.Sprintf("raw=%t d86=%t hs=%t", o.KeepRedundant, o.Dialect1986, o.InterruptHandshake)
+	return fmt.Sprintf("raw=%t d86=%t hs=%t compile=%t cms=%d",
+		o.KeepRedundant, o.Dialect1986, o.InterruptHandshake, o.Compile, o.CompileMaxStates)
 }
 
 // DeriveRequest is the body of POST /v1/derive.
@@ -170,6 +180,9 @@ type DeriveResponse struct {
 	MessageCount int `json:"messageCount"`
 	// Complexity is the per-operator Section-4.3 breakdown.
 	Complexity protoderive.Complexity `json:"complexity"`
+	// Compile carries the per-entity FSM compilation report when the
+	// request asked for it.
+	Compile *protoderive.CompileReport `json:"compile,omitempty"`
 }
 
 // VerifyRequestOptions are the wire options of POST /v1/verify: the
@@ -412,7 +425,7 @@ func (s *Server) handleDerive(w http.ResponseWriter, r *http.Request) int {
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.SyncDeadline)
 	defer cancel()
 	val, outcome, err := s.compute(ctx, s.derivePool, "derive", key, func() (any, error) {
-		return deriveResponse(svc, req.Options)
+		return s.deriveResponse(svc, req.Options)
 	})
 	if err != nil {
 		return writeError(w, err)
@@ -422,7 +435,10 @@ func (s *Server) handleDerive(w http.ResponseWriter, r *http.Request) int {
 	return writeJSON(w, http.StatusOK, resp)
 }
 
-func deriveResponse(svc *protoderive.Service, opts DeriveRequestOptions) (*DeriveResponse, error) {
+// deriveResponse runs one derivation. Like verifyResponse it executes only
+// inside the computing call of a cache miss, so the compile counters in
+// s.metrics count each distinct compilation once.
+func (s *Server) deriveResponse(svc *protoderive.Service, opts DeriveRequestOptions) (*DeriveResponse, error) {
 	proto, err := svc.DeriveWithOptions(opts.facade())
 	if err != nil {
 		return nil, err
@@ -436,6 +452,19 @@ func deriveResponse(svc *protoderive.Service, opts DeriveRequestOptions) (*Deriv
 	}
 	for _, p := range proto.Places() {
 		resp.Entities[strconv.Itoa(p)] = proto.EntityText(p)
+	}
+	if opts.Compile {
+		rep, err := proto.Compile(&protoderive.CompileOptions{MaxStates: opts.CompileMaxStates})
+		if err != nil {
+			return nil, err
+		}
+		states, transitions := 0, 0
+		for _, e := range rep.Entities {
+			states += e.MinStates
+			transitions += e.MinTransitions
+		}
+		s.metrics.RecordCompile(rep.Compiled, rep.Fallback, states, transitions)
+		resp.Compile = rep
 	}
 	return resp, nil
 }

@@ -223,6 +223,104 @@ func TestVerifyEquivStatsInMetrics(t *testing.T) {
 	}
 }
 
+// TestDeriveCompileOption asserts the FSM-compilation surface of
+// /v1/derive: the compile option returns per-entity state/transition
+// counts, distinguishes the cache key, records the /metrics aggregate
+// exactly once, and a cache hit does not re-count.
+func TestDeriveCompileOption(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	// Plain derive first: compile must not share its cache entry.
+	postJSON(t, ts.URL+"/v1/derive", DeriveRequest{Spec: validSpec}).Body.Close()
+	out := decode[DeriveResponse](t, postJSON(t, ts.URL+"/v1/derive", DeriveRequest{
+		Spec: validSpec, Options: DeriveRequestOptions{Compile: true},
+	}))
+	if out.Cached {
+		t.Error("compile request served the non-compile cache entry")
+	}
+	if out.Compile == nil {
+		t.Fatal("compile requested but response carries no report")
+	}
+	rep := out.Compile
+	if rep.Compiled != len(out.Places) || rep.Fallback != 0 {
+		t.Fatalf("compile report = %+v, want all %d entities compiled", rep, len(out.Places))
+	}
+	for _, e := range rep.Entities {
+		if !e.Compiled || e.States == 0 || e.Transitions == 0 || e.MinStates == 0 {
+			t.Errorf("entity %d report %+v, want nonzero table sizes", e.Place, e)
+		}
+		if e.MinStates > e.States || e.MinTransitions > e.Transitions {
+			t.Errorf("entity %d minimized larger than exact: %+v", e.Place, e)
+		}
+	}
+
+	// Repeat (cache hit) and then snapshot the aggregate.
+	again := decode[DeriveResponse](t, postJSON(t, ts.URL+"/v1/derive", DeriveRequest{
+		Spec: validSpec, Options: DeriveRequestOptions{Compile: true},
+	}))
+	if !again.Cached || again.Compile == nil {
+		t.Errorf("repeat compile request: cached=%t report=%v", again.Cached, again.Compile)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := decode[MetricsPage](t, resp)
+	cm := page.Compile
+	if cm.Requests != 1 {
+		t.Errorf("aggregate compile requests = %d, want 1 (cache hit must not re-count)", cm.Requests)
+	}
+	if cm.CompiledEntities != uint64(rep.Compiled) || cm.InterpretedEntities != 0 {
+		t.Errorf("aggregate %+v does not match report %+v", cm, rep)
+	}
+	if cm.States == 0 || cm.Transitions == 0 {
+		t.Errorf("aggregate table sizes zero: %+v", cm)
+	}
+}
+
+// TestDeriveCompileFallback asserts that an entity whose state space
+// exceeds the cap is reported as an interpreter fallback (with the
+// overflow reason), not an error, and counts on the interpreted side of
+// the /metrics aggregate.
+func TestDeriveCompileFallback(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	src := "SPEC A WHERE PROC A = (a1; A >> b2; exit) [] (a1; b2; exit) END ENDSPEC"
+	out := decode[DeriveResponse](t, postJSON(t, ts.URL+"/v1/derive", DeriveRequest{
+		Spec: src, Options: DeriveRequestOptions{Compile: true, CompileMaxStates: 256},
+	}))
+	if out.Compile == nil {
+		t.Fatal("compile requested but response carries no report")
+	}
+	rep := out.Compile
+	if rep.Fallback == 0 {
+		t.Fatalf("compile report = %+v, want interpreter fallbacks for unbounded entities", rep)
+	}
+	if rep.MaxStates != 256 {
+		t.Errorf("report cap = %d, want 256", rep.MaxStates)
+	}
+	sawError := false
+	for _, e := range rep.Entities {
+		if !e.Compiled && e.Error != "" {
+			sawError = true
+		}
+	}
+	if !sawError {
+		t.Errorf("no fallback entity carries an overflow reason: %+v", rep.Entities)
+	}
+	page := decode[MetricsPage](t, mustGet(t, ts.URL+"/metrics"))
+	if page.Compile.InterpretedEntities != uint64(rep.Fallback) {
+		t.Errorf("aggregate interpreted = %d, want %d", page.Compile.InterpretedEntities, rep.Fallback)
+	}
+}
+
+func mustGet(t *testing.T, url string) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
 func TestVerifyParallelMatchesSerial(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	serial := decode[VerifyResponse](t, postJSON(t, ts.URL+"/v1/verify", VerifyRequest{

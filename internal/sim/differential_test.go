@@ -1,0 +1,171 @@
+package sim
+
+// Corpus-wide differential test of the two execution engines: every
+// checked-in specification, every derived entity, AST interpreter vs
+// compiled FSM. The equivalence is checked at two levels — statically,
+// each compiled machine (exact and minimized) is weakly bisimilar to the
+// entity's explored transition system; dynamically, lockstep runs with the
+// same seed produce identical observable traces and outcomes under either
+// engine, and those traces are weak traces of the service.
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/equiv"
+	"repro/internal/fsm"
+	"repro/internal/lotos"
+	"repro/internal/lts"
+)
+
+// corpusEntry is one derived corpus member.
+type corpusEntry struct {
+	d *core.Derivation
+	// disabling marks specs using "[>": their derived interrupt broadcast
+	// deviates from the service by design (the Section-5 theorem excludes
+	// the operator), so runtime traces need not be service traces.
+	disabling bool
+}
+
+// corpusDerivations parses and derives every repository corpus spec.
+func corpusDerivations(t *testing.T) map[string]corpusEntry {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join("..", "..", "specs", "*.spec"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no corpus specs found: %v", err)
+	}
+	out := map[string]corpusEntry{}
+	for _, file := range files {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp, err := lotos.Parse(string(src))
+		if err != nil {
+			t.Fatalf("%s: parse: %v", file, err)
+		}
+		d, err := core.Derive(sp, core.Options{})
+		if err != nil {
+			t.Fatalf("%s: derive: %v", file, err)
+		}
+		name := strings.TrimSuffix(filepath.Base(file), ".spec")
+		out[name] = corpusEntry{d: d, disabling: strings.Contains(string(src), "[>")}
+	}
+	return out
+}
+
+// diffMaxStates is the compilation cap for the differential sweep: big
+// enough for every finite corpus entity, small enough that the unbounded
+// ones fail fast.
+const diffMaxStates = 1024
+
+// TestCorpusCompiledBisimilarToExploration checks the static half of the
+// engine equivalence over the whole corpus: for every entity that
+// compiles, both the exact table graph and the minimized one are weakly
+// bisimilar to the entity's independently explored transition system, and
+// the minimized machine has exactly one state per weak-bisimulation class.
+func TestCorpusCompiledBisimilarToExploration(t *testing.T) {
+	compiled, fallback := 0, 0
+	for name, entry := range corpusDerivations(t) {
+		d := entry.d
+		fleet := fsm.CompileEntities(d.Entities, fsm.Config{MaxStates: diffMaxStates})
+		for place, sp := range d.Entities {
+			m := fleet.Machines[place]
+			if m == nil {
+				fallback++
+				if fleet.Errors[place] == nil {
+					t.Errorf("%s entity %d: no machine and no compile error", name, place)
+				}
+				continue
+			}
+			compiled++
+			env, err := lts.EnvFor(sp)
+			if err != nil {
+				t.Fatalf("%s entity %d: %v", name, place, err)
+			}
+			explored, err := lts.Explore(env, sp.Root.Expr, lts.Limits{MaxStates: diffMaxStates})
+			if err != nil {
+				t.Fatalf("%s entity %d: explore: %v", name, place, err)
+			}
+			if !equiv.WeakBisimilar(m.Graph(), explored) {
+				t.Errorf("%s entity %d: exact tables not weakly bisimilar to exploration", name, place)
+			}
+			if !equiv.WeakBisimilar(m.MinGraph(), explored) {
+				t.Errorf("%s entity %d: minimized tables not weakly bisimilar to exploration", name, place)
+			}
+			if want := equiv.NumClassesWeak(explored); m.MinStates() != want {
+				t.Errorf("%s entity %d: %d minimized states, want %d weak classes",
+					name, place, m.MinStates(), want)
+			}
+		}
+	}
+	if compiled == 0 {
+		t.Fatal("no corpus entity compiled — the differential sweep tested nothing")
+	}
+	if fallback == 0 {
+		t.Fatal("no corpus entity fell back — the corpus lost its unbounded members")
+	}
+	t.Logf("corpus entities: %d compiled, %d interpreter fallbacks", compiled, fallback)
+}
+
+// TestCorpusEnginesProduceIdenticalRuns checks the dynamic half: for every
+// corpus spec and a battery of seeds, a lockstep run under the FSM engine
+// is step-for-step identical to the AST run — same observable trace, same
+// outcome classification, same medium counters — and the shared trace is a
+// weak trace of the service. Entities that do not compile run interpreted
+// in both configurations, so the comparison still covers the whole corpus.
+func TestCorpusEnginesProduceIdenticalRuns(t *testing.T) {
+	const seeds = 20
+	for name, entry := range corpusDerivations(t) {
+		d := entry.d
+		fleet := fsm.CompileEntities(d.Entities, fsm.Config{MaxStates: diffMaxStates})
+		for seed := int64(0); seed < seeds; seed++ {
+			base := Config{Seed: seed, Lockstep: true, MaxEvents: 24}
+			astRes, err := Run(d.Entities, base)
+			if err != nil {
+				t.Fatalf("%s seed %d ast: %v", name, seed, err)
+			}
+			fsmCfg := base
+			fsmCfg.Engine = EngineFSM
+			fsmCfg.Fleet = fleet
+			fsmRes, err := Run(d.Entities, fsmCfg)
+			if err != nil {
+				t.Fatalf("%s seed %d fsm: %v", name, seed, err)
+			}
+			if !reflect.DeepEqual(astRes.TraceStrings(), fsmRes.TraceStrings()) {
+				t.Fatalf("%s seed %d: traces diverge\n ast: %v\n fsm: %v",
+					name, seed, astRes.TraceStrings(), fsmRes.TraceStrings())
+			}
+			if astRes.Completed != fsmRes.Completed || astRes.Deadlocked != fsmRes.Deadlocked ||
+				astRes.TimedOut != fsmRes.TimedOut || astRes.Stopped != fsmRes.Stopped {
+				t.Fatalf("%s seed %d: outcomes diverge\n ast: %+v\n fsm: %+v",
+					name, seed, astRes, fsmRes)
+			}
+			if astRes.Medium.Sent != fsmRes.Medium.Sent || astRes.Medium.Delivered != fsmRes.Medium.Delivered {
+				t.Fatalf("%s seed %d: medium stats diverge: %+v vs %+v",
+					name, seed, astRes.Medium, fsmRes.Medium)
+			}
+			for p := range d.Entities {
+				want := EngineAST
+				if fleet.Machines[p] != nil {
+					want = EngineFSM
+				}
+				if fsmRes.Engines[p] != want {
+					t.Errorf("%s seed %d: entity %d ran %s, want %s", name, seed, p, fsmRes.Engines[p], want)
+				}
+			}
+			// The traces are equal, so one trace check covers both engines.
+			// Disabling specs are exempt: their derived protocol deviates
+			// from the service by design, under either engine.
+			if !entry.disabling {
+				if err := CheckTrace(d.Service.Spec, astRes, 200000); err != nil {
+					t.Errorf("%s seed %d: %v (trace %v)", name, seed, err, astRes.TraceStrings())
+				}
+			}
+		}
+	}
+}

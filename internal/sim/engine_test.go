@@ -1,0 +1,147 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/fsm"
+)
+
+func TestEngineFSMCompletes(t *testing.T) {
+	d := deriveFor(t, "SPEC a1; b2; c3; exit ENDSPEC")
+	res, err := Run(d.Entities, Config{Seed: 1, Engine: EngineFSM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("run did not complete: %+v", res)
+	}
+	if res.CompiledPlaces() != len(d.Entities) {
+		t.Fatalf("Engines = %v, want all %s", res.Engines, EngineFSM)
+	}
+	if err := CheckTrace(d.Service.Spec, res, 0); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEngineFSMSharedFleet(t *testing.T) {
+	d := deriveFor(t, "SPEC a1; exit ||| b2; exit ENDSPEC")
+	fleet := fsm.CompileEntities(d.Entities, fsm.Config{})
+	if len(fleet.Errors) != 0 {
+		t.Fatalf("compile errors: %v", fleet.Errors)
+	}
+	for seed := int64(0); seed < 20; seed++ {
+		res, err := Run(d.Entities, Config{Seed: seed, Engine: EngineFSM, Fleet: fleet})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Completed {
+			t.Fatalf("seed %d: %+v", seed, res)
+		}
+		if err := CheckTrace(d.Service.Spec, res, 0); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestEngineFSMMixedFleet(t *testing.T) {
+	// a^n b^n: unbounded entities fall back to the AST interpreter while
+	// any finite ones run compiled; the run must still produce service
+	// traces.
+	d := deriveFor(t, `SPEC A WHERE PROC A = (a1; A >> b2; exit) [] (a1; b2; exit) END ENDSPEC`)
+	fleet := fsm.CompileEntities(d.Entities, fsm.Config{MaxStates: 256})
+	if len(fleet.Errors) == 0 {
+		t.Fatal("expected compile errors for unbounded entities")
+	}
+	for seed := int64(0); seed < 10; seed++ {
+		res, err := Run(d.Entities, Config{Seed: seed, MaxEvents: 12, Engine: EngineFSM, Fleet: fleet})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.TimedOut {
+			t.Fatalf("seed %d timed out: %+v", seed, res)
+		}
+		for p := range fleet.Errors {
+			if res.Engines[p] != EngineAST {
+				t.Errorf("seed %d: entity %d ran %s, want ast fallback", seed, p, res.Engines[p])
+			}
+		}
+		if err := CheckTrace(d.Service.Spec, res, 200000); err != nil {
+			t.Errorf("seed %d: %v (trace %v)", seed, err, res.TraceStrings())
+		}
+	}
+}
+
+func TestLockstepEnginesAgree(t *testing.T) {
+	specs := []string{
+		"SPEC a1; b2; exit ENDSPEC",
+		"SPEC a1; exit ||| b2; exit ENDSPEC",
+		"SPEC a1; b2; exit [] a1; c2; exit ENDSPEC",
+		"SPEC a1; c3; b2; exit [] e1; b2; exit ENDSPEC",
+		"SPEC a1; exit >> (b2; exit ||| c3; exit) >> d1; exit ENDSPEC",
+	}
+	for _, src := range specs {
+		d := deriveFor(t, src)
+		for seed := int64(0); seed < 25; seed++ {
+			base := Config{Seed: seed, Lockstep: true, MaxEvents: 40}
+			astCfg := base
+			astRes, err := Run(d.Entities, astCfg)
+			if err != nil {
+				t.Fatalf("%s seed %d ast: %v", src, seed, err)
+			}
+			fsmCfg := base
+			fsmCfg.Engine = EngineFSM
+			fsmRes, err := Run(d.Entities, fsmCfg)
+			if err != nil {
+				t.Fatalf("%s seed %d fsm: %v", src, seed, err)
+			}
+			if !reflect.DeepEqual(astRes.TraceStrings(), fsmRes.TraceStrings()) {
+				t.Fatalf("%s seed %d: traces diverge\n ast: %v\n fsm: %v",
+					src, seed, astRes.TraceStrings(), fsmRes.TraceStrings())
+			}
+			if astRes.Completed != fsmRes.Completed || astRes.Deadlocked != fsmRes.Deadlocked ||
+				astRes.Stopped != fsmRes.Stopped {
+				t.Fatalf("%s seed %d: outcome diverges: ast %+v fsm %+v", src, seed, astRes, fsmRes)
+			}
+			if astRes.Medium.Sent != fsmRes.Medium.Sent || astRes.Medium.Delivered != fsmRes.Medium.Delivered {
+				t.Fatalf("%s seed %d: medium stats diverge: %+v vs %+v",
+					src, seed, astRes.Medium, fsmRes.Medium)
+			}
+			if err := CheckTrace(d.Service.Spec, astRes, 0); err != nil {
+				t.Errorf("%s seed %d: %v", src, seed, err)
+			}
+		}
+	}
+}
+
+func TestLockstepDeterministic(t *testing.T) {
+	d := deriveFor(t, "SPEC a1; exit >> (b2; exit ||| c3; exit) >> d1; exit ENDSPEC")
+	for _, engine := range []Engine{EngineAST, EngineFSM} {
+		first, err := Run(d.Entities, Config{Seed: 7, Lockstep: true, Engine: engine})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 5; i++ {
+			again, err := Run(d.Entities, Config{Seed: 7, Lockstep: true, Engine: engine})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(first.TraceStrings(), again.TraceStrings()) {
+				t.Fatalf("%s: lockstep not reproducible: %v vs %v",
+					engine, first.TraceStrings(), again.TraceStrings())
+			}
+		}
+	}
+}
+
+func TestLockstepRejectsAsyncMedium(t *testing.T) {
+	d := deriveFor(t, "SPEC a1; b2; exit ENDSPEC")
+	if _, err := Run(d.Entities, Config{Seed: 1, Lockstep: true, Reliable: true}); err == nil {
+		t.Error("lockstep with Reliable should be rejected")
+	}
+	cfg := Config{Seed: 1, Lockstep: true}
+	cfg.Medium.MaxDelay = 1
+	if _, err := Run(d.Entities, cfg); err == nil {
+		t.Error("lockstep with MaxDelay should be rejected")
+	}
+}

@@ -1,21 +1,27 @@
 package sim
 
 // This file implements counterexample replay: it re-executes a
-// compose.Witness step-for-step through the runtime entity interpreter and
+// compose.Witness step-for-step through a runtime entity engine and the
 // medium, confirming that the abstract counterexample found by state-space
 // exploration is a real execution of the concrete system. Replay is fully
 // deterministic: the witness pins every choice (which entity moves, which
 // local transition fires, which medium fault strikes which queue position),
 // and the medium runs with zero delay and no random faults — targeted
 // DropAt/DuplicateAt/SwapAt calls reproduce the fault events instead.
+//
+// Replay runs on the same stepper abstraction as the simulator, so a witness
+// can be replayed through either engine: the compiled tables preserve
+// per-state transition order (the TIndex a witness step pins selects the
+// same transition in both), which the FSM replay regression suite checks
+// across the whole fault-matrix corpus.
 
 import (
 	"fmt"
 	"sort"
 
 	"repro/internal/compose"
+	"repro/internal/fsm"
 	"repro/internal/lotos"
-	"repro/internal/lts"
 	"repro/internal/medium"
 )
 
@@ -37,25 +43,33 @@ type ReplayResult struct {
 	// MediumStats snapshots the medium counters after the replay (sent,
 	// delivered, dropped, duplicated, reordered, flushed).
 	MediumStats medium.Stats
+	// Engines records which engine replayed each place.
+	Engines map[int]Engine
 }
 
 // replayer holds the concrete system state during a witness replay.
 type replayer struct {
 	places []int
-	envs   map[int]*lts.Env
-	cur    map[int]lotos.Expr
+	steps  map[int]stepper
 	med    *medium.Medium
 	cap    int
 	faults compose.FaultModel
 }
 
-// ReplayWitness re-executes a counterexample through the runtime interpreter
+// ReplayWitness re-executes a counterexample through the AST interpreter
 // and returns what the concrete system did. Each witness step is validated
 // against the entity's derived transitions (the step's TIndex must select a
 // transition of the step's kind) or against the medium's queues (a fault
 // step must find its queue position occupied); any mismatch is an error —
 // the witness does not describe a real execution.
 func ReplayWitness(entities map[int]*lotos.Spec, w *compose.Witness) (*ReplayResult, error) {
+	return ReplayWitnessEngine(entities, w, EngineAST, nil)
+}
+
+// ReplayWitnessEngine is ReplayWitness with an engine choice. Under
+// EngineFSM the entities run compiled (fleet is compiled on the spot when
+// nil), with per-entity AST fallback on compilation failure.
+func ReplayWitnessEngine(entities map[int]*lotos.Spec, w *compose.Witness, engine Engine, fleet *fsm.Fleet) (*ReplayResult, error) {
 	if w == nil {
 		return nil, fmt.Errorf("sim: nil witness")
 	}
@@ -63,8 +77,7 @@ func ReplayWitness(entities map[int]*lotos.Spec, w *compose.Witness) (*ReplayRes
 	// composed system is a root deadlock and the witness has no steps, so
 	// replay degenerates to the final enabledness check.
 	rp := &replayer{
-		envs:   map[int]*lts.Env{},
-		cur:    map[int]lotos.Expr{},
+		steps:  map[int]stepper{},
 		med:    medium.New(medium.Config{}),
 		cap:    w.ChannelCap,
 		faults: w.Faults,
@@ -73,18 +86,32 @@ func ReplayWitness(entities map[int]*lotos.Spec, w *compose.Witness) (*ReplayRes
 		rp.cap = compose.DefaultChannelCap
 	}
 	defer rp.med.Close()
+	if engine == EngineFSM && fleet == nil {
+		fleet = fsm.CompileEntities(entities, fsm.Config{})
+	}
+	engines := make(map[int]Engine, len(entities))
 	for p, sp := range entities {
-		env, err := lts.EnvFor(sp)
-		if err != nil {
-			return nil, fmt.Errorf("sim: entity %d: %w", p, err)
+		var st stepper
+		engines[p] = EngineAST
+		if engine == EngineFSM {
+			if m := fleet.Machines[p]; m != nil {
+				st = newFSMStepper(m)
+				engines[p] = EngineFSM
+			}
+		}
+		if st == nil {
+			ast, err := newASTStepper(p, sp)
+			if err != nil {
+				return nil, err
+			}
+			st = ast
 		}
 		rp.places = append(rp.places, p)
-		rp.envs[p] = env
-		rp.cur[p] = sp.Root.Expr
+		rp.steps[p] = st
 	}
 	sort.Ints(rp.places)
 
-	res := &ReplayResult{}
+	res := &ReplayResult{Engines: engines}
 	for i, st := range w.Steps {
 		if err := rp.step(st, res); err != nil {
 			return nil, fmt.Errorf("sim: witness step %d [%s] %s: %w", i+1, st.Kind, st.Label, err)
@@ -107,14 +134,17 @@ func (rp *replayer) step(st compose.WitnessStep, res *ReplayResult) error {
 	switch st.Kind {
 	case compose.StepDelta:
 		for _, p := range rp.places {
-			ts, err := rp.envs[p].Transitions(rp.cur[p])
+			s := rp.steps[p]
+			n, err := s.reload()
 			if err != nil {
 				return err
 			}
 			found := false
-			for _, t := range ts {
-				if t.Label.Kind == lts.LDelta {
-					rp.cur[p] = t.To
+			for i := 0; i < n; i++ {
+				if s.op(i) == fsm.OpDelta {
+					if err := s.advance(i); err != nil {
+						return err
+					}
 					found = true
 					break
 				}
@@ -147,42 +177,45 @@ func (rp *replayer) step(st compose.WitnessStep, res *ReplayResult) error {
 	}
 
 	// Entity step: the TIndex selects the fired transition in derivation
-	// order — the same order compose's exploration caches.
-	ts, err := rp.envs[st.Place].Transitions(rp.cur[st.Place])
+	// order — the same order compose's exploration caches and the compiled
+	// tables preserve.
+	s, ok := rp.steps[st.Place]
+	if !ok {
+		return fmt.Errorf("witness names unknown entity %d", st.Place)
+	}
+	n, err := s.reload()
 	if err != nil {
 		return err
 	}
-	if st.TIndex < 0 || st.TIndex >= len(ts) {
-		return fmt.Errorf("entity %d has %d transitions, witness selects #%d", st.Place, len(ts), st.TIndex)
+	if st.TIndex < 0 || st.TIndex >= n {
+		return fmt.Errorf("entity %d has %d transitions, witness selects #%d", st.Place, n, st.TIndex)
 	}
-	t := ts[st.TIndex]
+	op, ev := s.op(st.TIndex), s.ev(st.TIndex)
 	switch st.Kind {
 	case compose.StepInternal:
-		if t.Label.Kind != lts.LInternal {
-			return fmt.Errorf("entity %d transition #%d is %s, not internal", st.Place, st.TIndex, t.Label)
+		if op != fsm.OpInternal {
+			return fmt.Errorf("entity %d transition #%d is %s, not internal", st.Place, st.TIndex, op)
 		}
 	case compose.StepService:
-		if t.Label.Kind != lts.LEvent || t.Label.Ev.Kind != lotos.EvService {
-			return fmt.Errorf("entity %d transition #%d is %s, not a service primitive", st.Place, st.TIndex, t.Label)
+		if op != fsm.OpService {
+			return fmt.Errorf("entity %d transition #%d is %s, not a service primitive", st.Place, st.TIndex, op)
 		}
-		res.Trace = append(res.Trace, t.Label.Ev.String())
+		res.Trace = append(res.Trace, ev.String())
 	case compose.StepSend:
-		if t.Label.Kind != lts.LEvent || t.Label.Ev.Kind != lotos.EvSend {
-			return fmt.Errorf("entity %d transition #%d is %s, not a send", st.Place, st.TIndex, t.Label)
+		if op != fsm.OpSend {
+			return fmt.Errorf("entity %d transition #%d is %s, not a send", st.Place, st.TIndex, op)
 		}
-		ev := t.Label.Ev
 		if len(rp.med.Pending(st.Place, ev.Place)) >= rp.cap {
 			return fmt.Errorf("channel %d->%d is at capacity %d, send blocks", st.Place, ev.Place, rp.cap)
 		}
 		rp.med.Send(medium.MessageFor(st.Place, ev))
 	case compose.StepRecv:
-		if t.Label.Kind != lts.LEvent || t.Label.Ev.Kind != lotos.EvRecv {
-			return fmt.Errorf("entity %d transition #%d is %s, not a receive", st.Place, st.TIndex, t.Label)
+		if op != fsm.OpRecv && op != fsm.OpRecvFlush {
+			return fmt.Errorf("entity %d transition #%d is %s, not a receive", st.Place, st.TIndex, op)
 		}
-		ev := t.Label.Ev
 		want := medium.WantedBy(st.Place, ev)
 		consumed := false
-		if flushingRecv(ev) {
+		if op == fsm.OpRecvFlush {
 			consumed = rp.med.TryConsumeFlush(want)
 		} else {
 			consumed = rp.med.TryConsume(want)
@@ -193,8 +226,7 @@ func (rp *replayer) step(st compose.WitnessStep, res *ReplayResult) error {
 	default:
 		return fmt.Errorf("unknown witness step kind %q", st.Kind)
 	}
-	rp.cur[st.Place] = t.To
-	return nil
+	return s.advance(st.TIndex)
 }
 
 // anyEnabled mirrors the composition's global-transition enabledness at the
@@ -205,35 +237,29 @@ func (rp *replayer) step(st compose.WitnessStep, res *ReplayResult) error {
 func (rp *replayer) anyEnabled() (bool, error) {
 	deltaReady := 0
 	for _, p := range rp.places {
-		ts, err := rp.envs[p].Transitions(rp.cur[p])
+		s := rp.steps[p]
+		n, err := s.reload()
 		if err != nil {
 			return false, err
 		}
 		sawDelta := false
-		for _, t := range ts {
-			switch t.Label.Kind {
-			case lts.LDelta:
+		for i := 0; i < n; i++ {
+			switch s.op(i) {
+			case fsm.OpDelta:
 				sawDelta = true
-			case lts.LInternal:
+			case fsm.OpInternal, fsm.OpService:
 				return true, nil
-			case lts.LEvent:
-				ev := t.Label.Ev
-				switch ev.Kind {
-				case lotos.EvService:
+			case fsm.OpSend:
+				if len(rp.med.Pending(p, s.ev(i).Place)) < rp.cap {
 					return true, nil
-				case lotos.EvSend:
-					if len(rp.med.Pending(p, ev.Place)) < rp.cap {
-						return true, nil
-					}
-				case lotos.EvRecv:
-					want := medium.WantedBy(p, ev)
-					if flushingRecv(ev) {
-						if rp.med.TryConsumeFlushCheck(want) {
-							return true, nil
-						}
-					} else if rp.med.TryConsumeCheck(want) {
-						return true, nil
-					}
+				}
+			case fsm.OpRecv:
+				if rp.med.TryConsumeCheck(medium.WantedBy(p, s.ev(i))) {
+					return true, nil
+				}
+			case fsm.OpRecvFlush:
+				if rp.med.TryConsumeFlushCheck(medium.WantedBy(p, s.ev(i))) {
+					return true, nil
 				}
 			}
 		}

@@ -2,188 +2,272 @@ package sim
 
 import (
 	"fmt"
-	"math/rand"
+	"math/rand/v2"
 
-	"repro/internal/core"
+	"repro/internal/fsm"
 	"repro/internal/lotos"
 	"repro/internal/lts"
 	"repro/internal/medium"
 )
 
-// runner interprets one protocol entity.
-type runner struct {
+// stepper is the execution engine of one protocol entity: it exposes the
+// current state's transitions as an indexed row (in derivation order — the
+// order lts.Env.Transitions yields and compose's witnesses index), classified
+// into runtime dispatch kinds. Two implementations exist: astStepper derives
+// transitions from the entity's syntax tree on every step, fsmStepper looks
+// them up in precompiled tables. The runner and the replayer are written
+// against this interface only, so both engines share one scheduling loop —
+// same candidate rows, same random-choice consumption, same traces.
+type stepper interface {
+	// reload makes the current state's transition row addressable and
+	// returns its length.
+	reload() (int, error)
+	// op classifies transition i of the current row.
+	op(i int) fsm.Op
+	// ev returns the event of transition i (zero Event for internal/δ).
+	ev(i int) lotos.Event
+	// offers returns the row's service-primitive offers and their row
+	// indices. The slices are valid until the next reload and must not be
+	// mutated.
+	offers() ([]lotos.Event, []int32)
+	// advance moves to the target of transition i of the current row.
+	advance(i int) error
+	// describe renders the current state for diagnostics.
+	describe() string
+}
+
+// astStepper interprets the entity specification directly: each reload
+// derives the current expression's transitions with the SOS rules.
+type astStepper struct {
 	place int
 	env   *lts.Env
 	cur   lotos.Expr
-	med   medium.Transport
-	world *world
-	cfg   Config
-	rng   *rand.Rand
+	ts    []lts.Transition
+	ops   []fsm.Op
+	evs   []lotos.Event
+	offEv []lotos.Event
+	offIx []int32
 }
 
-func newRunner(place int, sp *lotos.Spec, med medium.Transport, w *world, cfg Config, seed int64) (*runner, error) {
+func newASTStepper(place int, sp *lotos.Spec) (*astStepper, error) {
 	env, err := lts.EnvFor(sp)
 	if err != nil {
 		return nil, fmt.Errorf("sim: entity %d: %w", place, err)
 	}
+	return &astStepper{place: place, env: env, cur: sp.Root.Expr}, nil
+}
+
+func (s *astStepper) reload() (int, error) {
+	ts, err := s.env.Transitions(s.cur)
+	if err != nil {
+		return 0, err
+	}
+	s.ts = ts
+	s.ops = s.ops[:0]
+	s.evs = s.evs[:0]
+	s.offEv = s.offEv[:0]
+	s.offIx = s.offIx[:0]
+	for i, t := range ts {
+		op, ev := fsm.Classify(t.Label)
+		s.ops = append(s.ops, op)
+		s.evs = append(s.evs, ev)
+		if op == fsm.OpService {
+			s.offEv = append(s.offEv, ev)
+			s.offIx = append(s.offIx, int32(i))
+		}
+	}
+	return len(ts), nil
+}
+
+func (s *astStepper) op(i int) fsm.Op                    { return s.ops[i] }
+func (s *astStepper) ev(i int) lotos.Event               { return s.evs[i] }
+func (s *astStepper) offers() ([]lotos.Event, []int32)   { return s.offEv, s.offIx }
+func (s *astStepper) advance(i int) error                { s.cur = s.ts[i].To; return nil }
+func (s *astStepper) describe() string                   { return lotos.Format(s.cur) }
+
+// fsmStepper executes a compiled machine: reload is two array reads and the
+// transition row, its classification and its offers are all precomputed.
+type fsmStepper struct {
+	m      *fsm.Machine
+	state  int32
+	lo, hi int32
+	offIx  []int32
+}
+
+func newFSMStepper(m *fsm.Machine) *fsmStepper { return &fsmStepper{m: m} }
+
+func (s *fsmStepper) reload() (int, error) {
+	s.lo, s.hi = s.m.Row(s.state)
+	return int(s.hi - s.lo), nil
+}
+
+func (s *fsmStepper) op(i int) fsm.Op      { return s.m.Ops[s.lo+int32(i)] }
+func (s *fsmStepper) ev(i int) lotos.Event { return s.m.Events[s.lo+int32(i)] }
+
+func (s *fsmStepper) offers() ([]lotos.Event, []int32) {
+	evs, abs := s.m.Offers(s.state)
+	s.offIx = s.offIx[:0]
+	for _, e := range abs {
+		s.offIx = append(s.offIx, e-s.lo)
+	}
+	return evs, s.offIx
+}
+
+func (s *fsmStepper) advance(i int) error {
+	s.state = s.m.To[s.lo+int32(i)]
+	return nil
+}
+
+func (s *fsmStepper) describe() string { return s.m.Keys[s.state] }
+
+// runner drives one protocol entity through its stepper.
+type runner struct {
+	place int
+	step  stepper
+	med   medium.Transport
+	world *world
+	cfg   Config
+	rng   *rand.Rand
+	cands []int // reused candidate buffer
+	done  bool  // set by the lockstep driver on termination
+}
+
+func newRunner(place int, step stepper, med medium.Transport, w *world, cfg Config, seed int64) *runner {
 	return &runner{
 		place: place,
-		env:   env,
-		cur:   sp.Root.Expr,
+		step:  step,
 		med:   med,
 		world: w,
 		cfg:   cfg,
-		rng:   rand.New(rand.NewSource(seed)),
-	}, nil
+		rng:   rand.New(newPCG(seed)),
+	}
 }
 
-// candidate is one enabled step of the entity.
-type candidate struct {
-	t       lts.Transition
-	isDelta bool
+// newPCG seeds a PCG stream from a scheduling seed. Seeding is O(1) — the
+// previous lagged-Fibonacci source spent ~10µs per runner filling its state
+// vector, which dominated short simulation runs (see BenchmarkSimulate).
+func newPCG(seed int64) *rand.PCG {
+	return rand.NewPCG(uint64(seed), 0x9e3779b97f4a7c15)
 }
 
 // run executes the entity until successful termination or a world stop.
 // It returns a description of the entity's state (for diagnosis of
-// incomplete runs): "terminated", or the pending expression.
+// incomplete runs): "terminated", or the pending state.
 func (r *runner) run() (string, error) {
 	for {
 		if r.world.isStopped() {
-			return r.describe(), nil
+			return r.step.describe(), nil
 		}
 		gen := r.world.generation()
 		medGen := r.med.Generation()
 
-		ts, err := r.env.Transitions(r.cur)
+		progressed, done, err := r.stepOnce()
 		if err != nil {
 			return "", err
 		}
-		cands, offered, offeredIdx := r.enabled(ts)
-
-		// Possibly attempt a user interaction this step. A successful
-		// Choose CLAIMS the offer (a scripted harness advances its
-		// cursor), so an accepted service primitive must be executed
-		// immediately — it may not lose a lottery against the other
-		// candidates.
-		if len(offered) > 0 {
-			attempt := len(cands) == 0 || r.rng.Intn(len(cands)+1) == len(cands)
-			if attempt {
-				if pick := r.cfg.Harness.Choose(r.place, offered); pick >= 0 && pick < len(offered) {
-					t := ts[offeredIdx[pick]]
-					if err := r.execute(t); err != nil {
-						return "", err
-					}
-					r.cur = t.To
-					continue
-				}
-			}
-		}
-
-		if len(cands) == 0 {
-			if len(ts) == 0 {
-				// stop state: inaction forever. Report as blocked.
-				r.world.await(gen)
-				continue
-			}
-			// Block until the world moves (message arrival, script
-			// progress, other entities, stop).
-			if r.med.Generation() != medGen {
-				continue // a message arrived meanwhile; re-evaluate
-			}
-			r.world.await(gen)
-			continue
-		}
-
-		c := cands[r.rng.Intn(len(cands))]
-		if c.isDelta {
-			r.world.markDone()
+		if done {
 			return "terminated", nil
 		}
-		if err := r.execute(c.t); err != nil {
-			return "", err
+		if progressed {
+			continue
 		}
-		r.cur = c.t.To
+		// Block until the world moves (message arrival, script progress,
+		// other entities, stop).
+		if r.med.Generation() != medGen {
+			continue // a message arrived meanwhile; re-evaluate
+		}
+		r.world.await(gen)
 	}
 }
 
-// enabled partitions the transitions into immediately executable candidates
-// and service-primitive offers.
-func (r *runner) enabled(ts []lts.Transition) (cands []candidate, offered []lotos.Event, offeredIdx []int) {
-	for i, t := range ts {
-		switch t.Label.Kind {
-		case lts.LDelta:
-			cands = append(cands, candidate{t: t, isDelta: true})
-		case lts.LInternal:
-			cands = append(cands, candidate{t: t})
-		case lts.LEvent:
-			ev := t.Label.Ev
-			switch ev.Kind {
-			case lotos.EvSend:
-				cands = append(cands, candidate{t: t})
-			case lotos.EvRecv:
-				// Peek: enabled only if the wanted message is consumable.
-				// The actual consumption happens in execute, which
-				// re-checks (another branch cannot steal it: only this
-				// entity consumes this channel). Handshake control
-				// messages use flush semantics (see core.FlushingMsgID).
-				want := medium.WantedBy(r.place, ev)
-				if flushingRecv(ev) {
-					if r.med.TryConsumeFlushCheck(want) {
-						cands = append(cands, candidate{t: t})
-					}
-				} else if r.med.TryConsumeCheck(want) {
-					cands = append(cands, candidate{t: t})
-				}
-			case lotos.EvService:
-				offered = append(offered, ev)
-				offeredIdx = append(offeredIdx, i)
+// stepOnce evaluates the current transition row and executes at most one
+// transition. It reports whether the entity progressed and whether it
+// terminated. The random-choice structure (one optional user-interaction
+// lottery, then a uniform pick among executable candidates) is the engine-
+// independent scheduling contract: both steppers feed it identical rows, so
+// a seeded run produces the same execution under either engine.
+func (r *runner) stepOnce() (progressed, done bool, err error) {
+	n, err := r.step.reload()
+	if err != nil {
+		return false, false, err
+	}
+	r.cands = r.cands[:0]
+	for i := 0; i < n; i++ {
+		switch r.step.op(i) {
+		case fsm.OpDelta, fsm.OpInternal, fsm.OpSend:
+			r.cands = append(r.cands, i)
+		case fsm.OpRecv:
+			// Peek: enabled only if the wanted message is consumable. The
+			// actual consumption happens in execute, which re-checks
+			// (another branch cannot steal it: only this entity consumes
+			// this channel).
+			if r.med.TryConsumeCheck(medium.WantedBy(r.place, r.step.ev(i))) {
+				r.cands = append(r.cands, i)
+			}
+		case fsm.OpRecvFlush:
+			if r.med.TryConsumeFlushCheck(medium.WantedBy(r.place, r.step.ev(i))) {
+				r.cands = append(r.cands, i)
 			}
 		}
 	}
-	return cands, offered, offeredIdx
+
+	// Possibly attempt a user interaction this step. A successful Choose
+	// CLAIMS the offer (a scripted harness advances its cursor), so an
+	// accepted service primitive must be executed immediately — it may not
+	// lose a lottery against the other candidates.
+	if offered, offeredIdx := r.step.offers(); len(offered) > 0 {
+		attempt := len(r.cands) == 0 || r.rng.IntN(len(r.cands)+1) == len(r.cands)
+		if attempt {
+			if pick := r.cfg.Harness.Choose(r.place, offered); pick >= 0 && pick < len(offered) {
+				i := int(offeredIdx[pick])
+				if err := r.execute(i); err != nil {
+					return false, false, err
+				}
+				return true, false, r.step.advance(i)
+			}
+		}
+	}
+
+	if len(r.cands) == 0 {
+		return false, false, nil
+	}
+	i := r.cands[r.rng.IntN(len(r.cands))]
+	if r.step.op(i) == fsm.OpDelta {
+		r.world.markDone()
+		return true, true, nil
+	}
+	if err := r.execute(i); err != nil {
+		return false, false, err
+	}
+	return true, false, r.step.advance(i)
 }
 
-// execute performs the side effect of one chosen transition.
-func (r *runner) execute(t lts.Transition) error {
-	switch t.Label.Kind {
-	case lts.LInternal:
+// execute performs the side effect of transition i of the current row.
+func (r *runner) execute(i int) error {
+	switch r.step.op(i) {
+	case fsm.OpInternal:
 		r.world.bump()
 		return nil
-	case lts.LEvent:
-		ev := t.Label.Ev
-		switch ev.Kind {
-		case lotos.EvSend:
-			r.med.Send(medium.MessageFor(r.place, ev))
-			r.world.bump()
-			return nil
-		case lotos.EvRecv:
-			want := medium.WantedBy(r.place, ev)
-			consumed := false
-			if flushingRecv(ev) {
-				consumed = r.med.TryConsumeFlush(want)
-			} else {
-				consumed = r.med.TryConsume(want)
-			}
-			if !consumed {
-				return fmt.Errorf("sim: entity %d: receive %s no longer enabled (internal error)", r.place, want)
-			}
-			r.world.bump()
-			return nil
-		case lotos.EvService:
-			r.world.record(r.place, ev)
-			return nil
+	case fsm.OpSend:
+		r.med.Send(medium.MessageFor(r.place, r.step.ev(i)))
+		r.world.bump()
+		return nil
+	case fsm.OpRecv, fsm.OpRecvFlush:
+		want := medium.WantedBy(r.place, r.step.ev(i))
+		consumed := false
+		if r.step.op(i) == fsm.OpRecvFlush {
+			consumed = r.med.TryConsumeFlush(want)
+		} else {
+			consumed = r.med.TryConsume(want)
 		}
+		if !consumed {
+			return fmt.Errorf("sim: entity %d: receive %s no longer enabled (internal error)", r.place, want)
+		}
+		r.world.bump()
+		return nil
+	case fsm.OpService:
+		r.world.record(r.place, r.step.ev(i))
+		return nil
 	}
-	return fmt.Errorf("sim: entity %d: unexpected transition %s", r.place, t.Label)
-}
-
-// flushingRecv reports whether a receive event carries interrupt-handshake
-// flush semantics.
-func flushingRecv(ev lotos.Event) bool {
-	return ev.Tag == "" && core.FlushingMsgID(ev.Node)
-}
-
-// describe renders the entity's pending state for diagnostics.
-func (r *runner) describe() string {
-	return lotos.Format(r.cur)
+	return fmt.Errorf("sim: entity %d: unexpected transition op %s", r.place, r.step.op(i))
 }

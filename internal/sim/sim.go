@@ -15,12 +15,27 @@ package sim
 
 import (
 	"fmt"
-	"math/rand"
+	"math/rand/v2"
+	"sort"
 	"sync"
 	"time"
 
+	"repro/internal/fsm"
 	"repro/internal/lotos"
 	"repro/internal/medium"
+)
+
+// Engine names an entity execution engine.
+type Engine string
+
+const (
+	// EngineAST interprets the entity syntax trees with the SOS rules
+	// (the default).
+	EngineAST Engine = "ast"
+	// EngineFSM executes entities compiled to table-driven machines
+	// (internal/fsm), falling back to the AST interpreter per entity whose
+	// state space exceeds the compilation cap.
+	EngineFSM Engine = "fsm"
 )
 
 // TraceEvent is one executed service primitive.
@@ -49,7 +64,7 @@ type AcceptAll struct {
 
 // NewAcceptAll builds a seeded accept-everything harness.
 func NewAcceptAll(seed int64) *AcceptAll {
-	return &AcceptAll{rng: rand.New(rand.NewSource(seed))}
+	return &AcceptAll{rng: rand.New(newPCG(seed))}
 }
 
 // Choose implements Harness.
@@ -59,7 +74,7 @@ func (h *AcceptAll) Choose(place int, offered []lotos.Event) int {
 	if len(offered) == 0 {
 		return -1
 	}
-	return h.rng.Intn(len(offered))
+	return h.rng.IntN(len(offered))
 }
 
 // Scripted is a harness that drives the users along a fixed global sequence
@@ -122,6 +137,23 @@ type Config struct {
 	// Harness supplies user decisions (default: accept-all seeded from
 	// Seed).
 	Harness Harness
+	// Engine selects the entity execution engine ("" means EngineAST).
+	Engine Engine
+	// Fleet supplies precompiled machines for EngineFSM. Nil makes Run
+	// compile the entities itself (under Compile); callers running many
+	// simulations of one protocol should compile once and share the fleet.
+	Fleet *fsm.Fleet
+	// Compile tunes entity compilation when Engine is EngineFSM and Fleet
+	// is nil.
+	Compile fsm.Config
+	// Lockstep replaces the concurrent per-entity goroutines with a
+	// deterministic single-threaded round-robin scheduler: entities take
+	// turns in ascending place order, each attempting one step per sweep.
+	// With a fixed Seed the whole execution is reproducible bit for bit —
+	// the substrate of the AST-vs-FSM differential tests. Requires the
+	// immediate medium (no Reliable, no MaxDelay), whose delivery has no
+	// asynchronous component.
+	Lockstep bool
 }
 
 // Result reports one simulation run.
@@ -144,6 +176,20 @@ type Result struct {
 	Blocked map[int]string
 	// EventsByPlace counts executed service primitives per place.
 	EventsByPlace map[int]int
+	// Engines records which engine executed each place: under EngineFSM,
+	// entities whose compilation failed run as EngineAST (mixed fleet).
+	Engines map[int]Engine
+}
+
+// CompiledPlaces counts how many entities ran compiled.
+func (r *Result) CompiledPlaces() int {
+	n := 0
+	for _, e := range r.Engines {
+		if e == EngineFSM {
+			n++
+		}
+	}
+	return n
 }
 
 // TraceStrings renders the trace as event strings.
@@ -251,6 +297,22 @@ func (w *world) generation() uint64 {
 	return w.gen
 }
 
+// stopStuck ends a lockstep run that made a full sweep without progress:
+// a genuine deadlock when nothing is in flight, a stuck run (reported as a
+// timeout, matching what the concurrent scheduler would eventually decide)
+// otherwise.
+func (w *world) stopStuck(deadlock bool) {
+	w.mu.Lock()
+	if !w.stopped {
+		w.stopped = true
+		w.deadlock = deadlock
+		w.timedOut = !deadlock
+	}
+	w.gen++
+	w.cond.Broadcast()
+	w.mu.Unlock()
+}
+
 // Run executes the protocol entities concurrently until all terminate, the
 // run deadlocks, MaxEvents service primitives were executed, or the timeout
 // expires.
@@ -276,11 +338,47 @@ func Run(entities map[int]*lotos.Spec, cfg Config) (*Result, error) {
 	}
 	defer med.Close()
 
+	if cfg.Lockstep && (cfg.Reliable || cfg.Medium.MaxDelay > 0) {
+		return nil, fmt.Errorf("sim: lockstep requires the immediate medium (no Reliable, no MaxDelay)")
+	}
+
 	places := make([]int, 0, len(entities))
 	for p := range entities {
 		places = append(places, p)
 	}
+	// Ascending place order fixes the per-entity scheduling seeds, so a run
+	// is identified by cfg.Seed alone (and by engine-independent design,
+	// produces the same execution under either engine when Lockstep is on).
+	sort.Ints(places)
 	w := newWorld(len(places), med, cfg.MaxEvents)
+
+	var fleet *fsm.Fleet
+	if cfg.Engine == EngineFSM {
+		fleet = cfg.Fleet
+		if fleet == nil {
+			fleet = fsm.CompileEntities(entities, cfg.Compile)
+		}
+	}
+	engines := make(map[int]Engine, len(places))
+	runners := make([]*runner, len(places))
+	for i, p := range places {
+		var st stepper
+		engines[p] = EngineAST
+		if fleet != nil {
+			if m := fleet.Machines[p]; m != nil {
+				st = newFSMStepper(m)
+				engines[p] = EngineFSM
+			}
+		}
+		if st == nil {
+			ast, err := newASTStepper(p, entities[p])
+			if err != nil {
+				return nil, err
+			}
+			st = ast
+		}
+		runners[i] = newRunner(p, st, med, w, cfg, cfg.Seed+int64(100+i))
+	}
 
 	// The sim ticker wakes waiters periodically while asynchronous medium
 	// events (delayed visibility, ARQ retransmission and delivery) may
@@ -302,38 +400,47 @@ func Run(entities map[int]*lotos.Spec, cfg Config) (*Result, error) {
 	defer timer.Stop()
 
 	blocked := make(map[int]string, len(places))
-	var blockedMu sync.Mutex
-	var wg sync.WaitGroup
-	errs := make(chan error, len(places))
-	for i, p := range places {
-		runner, err := newRunner(p, entities[p], med, w, cfg, cfg.Seed+int64(100+i))
-		if err != nil {
+	if cfg.Lockstep {
+		if err := runLockstep(runners, w, med); err != nil {
 			return nil, err
 		}
-		wg.Add(1)
-		go func(p int) {
-			defer wg.Done()
-			desc, err := runner.run()
-			if err != nil {
-				errs <- fmt.Errorf("entity %d: %w", p, err)
-				w.stop(false)
-				return
+		for _, r := range runners {
+			if r.done {
+				blocked[r.place] = "terminated"
+			} else {
+				blocked[r.place] = r.step.describe()
 			}
-			blockedMu.Lock()
-			blocked[p] = desc
-			blockedMu.Unlock()
-		}(p)
-	}
-	// No separate completion watcher is needed: runners return when they
-	// terminate, and a global deadlock is detected by the last runner to
-	// block (await), which stops the world and wakes everyone.
-	wg.Wait()
-	w.stop(false)
+		}
+	} else {
+		var blockedMu sync.Mutex
+		var wg sync.WaitGroup
+		errs := make(chan error, len(places))
+		for _, r := range runners {
+			wg.Add(1)
+			go func(r *runner) {
+				defer wg.Done()
+				desc, err := r.run()
+				if err != nil {
+					errs <- fmt.Errorf("entity %d: %w", r.place, err)
+					w.stop(false)
+					return
+				}
+				blockedMu.Lock()
+				blocked[r.place] = desc
+				blockedMu.Unlock()
+			}(r)
+		}
+		// No separate completion watcher is needed: runners return when they
+		// terminate, and a global deadlock is detected by the last runner to
+		// block (await), which stops the world and wakes everyone.
+		wg.Wait()
+		w.stop(false)
 
-	select {
-	case err := <-errs:
-		return nil, err
-	default:
+		select {
+		case err := <-errs:
+			return nil, err
+		default:
+		}
 	}
 
 	w.mu.Lock()
@@ -346,10 +453,49 @@ func Run(entities map[int]*lotos.Spec, cfg Config) (*Result, error) {
 		Medium:        med.Stats(),
 		Blocked:       blocked,
 		EventsByPlace: map[int]int{},
+		Engines:       engines,
 	}
 	for _, te := range res.Trace {
 		res.EventsByPlace[te.Place]++
 	}
 	w.mu.Unlock()
 	return res, nil
+}
+
+// runLockstep drives the runners on the calling goroutine: repeated sweeps
+// in ascending place order, one step attempt per entity per sweep, until
+// every entity terminated, the world stopped (MaxEvents, timeout), or a full
+// sweep made no progress — with the immediate medium nothing asynchronous
+// can unblock such a sweep, so the run is over (deadlock when no message is
+// in flight).
+func runLockstep(runners []*runner, w *world, med medium.Transport) error {
+	for !w.isStopped() {
+		progress := false
+		alive := 0
+		for _, r := range runners {
+			if r.done || w.isStopped() {
+				continue
+			}
+			alive++
+			progressed, done, err := r.stepOnce()
+			if err != nil {
+				w.stop(false)
+				return fmt.Errorf("entity %d: %w", r.place, err)
+			}
+			if done {
+				r.done = true
+			}
+			if progressed {
+				progress = true
+			}
+		}
+		if alive == 0 {
+			break
+		}
+		if !progress {
+			w.stopStuck(med.InFlight() == 0)
+		}
+	}
+	w.stop(false)
+	return nil
 }

@@ -25,12 +25,15 @@ package protoderive
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/attr"
 	"repro/internal/compose"
 	"repro/internal/core"
+	"repro/internal/fsm"
 	"repro/internal/lotos"
 	"repro/internal/lts"
 	"repro/internal/sim"
@@ -273,6 +276,35 @@ type DeriveOptions struct {
 // Protocol is a derived set of protocol entity specifications.
 type Protocol struct {
 	d *core.Derivation
+
+	// Compiled machine fleets, cached per state cap: compilation explores
+	// and minimizes every entity, so repeated Simulate/ReplayWith calls on
+	// one Protocol — the steady state of the daemon — must not redo it.
+	// Machines are immutable, so a cached fleet is safe to share across
+	// concurrent runs.
+	fleetMu sync.Mutex
+	fleets  map[int]*fsm.Fleet
+}
+
+// fleet returns the protocol's compiled machine fleet for the given state
+// cap (0 = default), compiling it on first use.
+func (p *Protocol) fleet(maxStates int) *fsm.Fleet {
+	if maxStates <= 0 {
+		maxStates = fsm.DefaultMaxStates
+	}
+	p.fleetMu.Lock()
+	defer p.fleetMu.Unlock()
+	if f := p.fleets[maxStates]; f != nil {
+		return f
+	}
+	// fsm.Compile clones each entity before exploring, so the shared trees
+	// are not mutated.
+	f := fsm.CompileEntities(p.d.Entities, fsm.Config{MaxStates: maxStates})
+	if p.fleets == nil {
+		p.fleets = map[int]*fsm.Fleet{}
+	}
+	p.fleets[maxStates] = f
+	return f
 }
 
 // Derive runs the derivation algorithm with default options.
@@ -668,12 +700,28 @@ type ReplayResult struct {
 // confirming the abstract counterexample is a real execution. The witness
 // must carry its extraction context (only witnesses returned by this
 // process's Verify calls do; deserialized ones do not).
-func (p *Protocol) Replay(w *Witness) (out *ReplayResult, err error) {
+func (p *Protocol) Replay(w *Witness) (*ReplayResult, error) {
+	return p.ReplayWith(w, "")
+}
+
+// ReplayWith is Replay with an engine choice: "ast" (or "") replays through
+// the AST interpreter, "fsm" through the compiled tables — the compiled
+// machines preserve per-state transition order, so a witness's pinned
+// transition indices select the same transitions under either engine.
+func (p *Protocol) ReplayWith(w *Witness, engineName string) (out *ReplayResult, err error) {
 	defer guard(&err)
 	if w == nil || w.inner == nil {
 		return nil, errors.New("protoderive: witness carries no replay context (was it deserialized?)")
 	}
-	res, err := sim.ReplayWitness(cloneEntities(p.d.Entities), w.inner)
+	engine, err := simEngine(engineName)
+	if err != nil {
+		return nil, err
+	}
+	var fleet *fsm.Fleet
+	if engine == sim.EngineFSM {
+		fleet = p.fleet(0)
+	}
+	res, err := sim.ReplayWitnessEngine(cloneEntities(p.d.Entities), w.inner, engine, fleet)
 	if err != nil {
 		return nil, err
 	}
@@ -683,6 +731,103 @@ func (p *Protocol) Replay(w *Witness) (out *ReplayResult, err error) {
 		Deadlocked: res.Deadlocked,
 		Steps:      res.Steps,
 	}, nil
+}
+
+// CompileOptions tunes Compile. The zero value (or nil) selects defaults.
+type CompileOptions struct {
+	// MaxStates caps each entity's explored state space (default
+	// fsm.DefaultMaxStates = 4096). Entities over the cap are reported as
+	// fallbacks, not errors.
+	MaxStates int
+}
+
+// EntityCompile reports the compilation of one protocol entity.
+type EntityCompile struct {
+	// Place is the entity's protocol place.
+	Place int `json:"place"`
+	// Compiled reports a successful compilation; when false, Error holds
+	// the reason and the runtime falls back to the AST interpreter for
+	// this entity.
+	Compiled bool `json:"compiled"`
+	// States / Transitions are the exact (execution-table) sizes.
+	States      int `json:"states,omitempty"`
+	Transitions int `json:"transitions,omitempty"`
+	// MinStates / MinTransitions are the weak-bisimulation-minimized sizes
+	// (the number of weakly inequivalent entity behaviours).
+	MinStates      int `json:"minStates,omitempty"`
+	MinTransitions int `json:"minTransitions,omitempty"`
+	// Error describes a failed compilation (state cap overflow).
+	Error string `json:"error,omitempty"`
+}
+
+// CompileReport summarizes compiling every entity of the protocol to
+// table-driven machines.
+type CompileReport struct {
+	// Entities holds one row per place, in place order.
+	Entities []EntityCompile `json:"entities"`
+	// Compiled / Fallback count entities that did and did not compile.
+	Compiled int `json:"compiled"`
+	Fallback int `json:"fallback"`
+	// MaxStates is the per-entity state cap the compilation ran with.
+	MaxStates int `json:"maxStates"`
+}
+
+// Compile compiles the derived entities to minimized table-driven state
+// machines (internal/fsm) and reports per-entity state/transition counts,
+// both exact and weak-bisimulation-minimized. Entities whose state space
+// exceeds the cap (unbounded recursion) are reported as fallbacks; simulating
+// with the "fsm" engine then runs them interpreted (a mixed fleet). The
+// compiled fleet is cached on the Protocol, so a Simulate with the same cap
+// reuses it. Safe for concurrent use.
+func (p *Protocol) Compile(opts *CompileOptions) (rep *CompileReport, err error) {
+	defer guard(&err)
+	var o CompileOptions
+	if opts != nil {
+		o = *opts
+	}
+	if o.MaxStates <= 0 {
+		o.MaxStates = fsm.DefaultMaxStates
+	}
+	f := p.fleet(o.MaxStates)
+	rep = &CompileReport{MaxStates: o.MaxStates}
+	places := make([]int, 0, len(p.d.Entities))
+	for place := range p.d.Entities {
+		places = append(places, place)
+	}
+	sort.Ints(places)
+	for _, place := range places {
+		if m := f.Machines[place]; m != nil {
+			rep.Entities = append(rep.Entities, EntityCompile{
+				Place:          place,
+				Compiled:       true,
+				States:         m.NumStates(),
+				Transitions:    m.NumTransitions(),
+				MinStates:      m.MinStates(),
+				MinTransitions: m.MinTransitions(),
+			})
+			rep.Compiled++
+			continue
+		}
+		row := EntityCompile{Place: place}
+		if ce := f.Errors[place]; ce != nil {
+			row.States = ce.States
+			row.Error = ce.Error()
+		}
+		rep.Entities = append(rep.Entities, row)
+		rep.Fallback++
+	}
+	return rep, nil
+}
+
+// simEngine maps a facade engine name to the runtime's engine selector.
+func simEngine(name string) (sim.Engine, error) {
+	switch name {
+	case "", "ast":
+		return sim.EngineAST, nil
+	case "fsm":
+		return sim.EngineFSM, nil
+	}
+	return "", fmt.Errorf("protoderive: unknown engine %q (want %q or %q)", name, "ast", "fsm")
 }
 
 // SimOptions tunes Simulate.
@@ -706,6 +851,14 @@ type SimOptions struct {
 	// transformation. With it, LossRate describes the wire and the
 	// protocol still completes.
 	ReliableLayer bool
+	// Engine selects the entity execution engine: "ast" (default)
+	// interprets the entity syntax trees, "fsm" runs them compiled to
+	// table-driven machines, with per-entity AST fallback when compilation
+	// exceeds the state cap.
+	Engine string
+	// CompileMaxStates caps per-entity compilation for the "fsm" engine
+	// (default fsm.DefaultMaxStates).
+	CompileMaxStates int
 }
 
 // SimResult reports one concurrent execution of the derived protocol.
@@ -719,6 +872,11 @@ type SimResult struct {
 	// TraceValid reports that the observed trace is a weak trace of the
 	// service (checked against the service state space).
 	TraceValid bool
+	// CompiledEntities / InterpretedEntities count how many entities ran
+	// on the compiled tables vs the AST interpreter (a mixed fleet has
+	// both non-zero).
+	CompiledEntities    int
+	InterpretedEntities int
 }
 
 // Simulate runs the derived entities concurrently — one goroutine per
@@ -734,10 +892,18 @@ func (p *Protocol) Simulate(opts *SimOptions) (out *SimResult, err error) {
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
+	engine, err := simEngine(o.Engine)
+	if err != nil {
+		return nil, err
+	}
 	cfg := sim.Config{
 		Seed:      o.Seed,
 		MaxEvents: o.MaxEvents,
 		Timeout:   o.Timeout,
+		Engine:    engine,
+	}
+	if engine == sim.EngineFSM {
+		cfg.Fleet = p.fleet(o.CompileMaxStates)
 	}
 	cfg.Medium.MaxDelay = o.MaxDelay
 	cfg.Medium.LossRate = o.LossRate
@@ -758,6 +924,8 @@ func (p *Protocol) Simulate(opts *SimOptions) (out *SimResult, err error) {
 		MessagesSent:    res.Medium.Sent,
 		MessagesDropped: res.Medium.Dropped,
 	}
+	out.CompiledEntities = res.CompiledPlaces()
+	out.InterpretedEntities = len(res.Engines) - out.CompiledEntities
 	out.TraceValid = sim.CheckTrace(lotos.CloneSpec(p.d.Service.Spec), res, 0) == nil
 	return out, nil
 }

@@ -84,6 +84,26 @@ var corpusMatrixGolden = map[string]cellGolden{
 	"transport/cap1/dup": {ok: true}, "transport/cap1/reorder": {ok: true},
 	"transport/cap2/reliable": {ok: true}, "transport/cap2/loss": {ok: false, witness: "deadlock"},
 	"transport/cap2/dup": {ok: false, witness: "deadlock"}, "transport/cap2/reorder": {ok: true},
+
+	// barrier's four entities exchange at most one distinct message per
+	// channel even at capacity 2, so duplication stays absorbed and only
+	// loss deadlocks it.
+	"barrier/cap1/reliable": {ok: true}, "barrier/cap1/loss": {ok: false, witness: "deadlock"},
+	"barrier/cap1/dup": {ok: true}, "barrier/cap1/reorder": {ok: true},
+	"barrier/cap2/reliable": {ok: true}, "barrier/cap2/loss": {ok: false, witness: "deadlock"},
+	"barrier/cap2/dup": {ok: true}, "barrier/cap2/reorder": {ok: true},
+
+	// nesteddisable stacks three disabling layers, so like example3/example6
+	// its interrupt broadcast deviates from the service even reliably.
+	"nesteddisable/cap1/reliable": {ok: false, witness: "extra-trace"}, "nesteddisable/cap1/loss": {ok: false, witness: "deadlock"},
+	"nesteddisable/cap1/dup": {ok: false, witness: "extra-trace"}, "nesteddisable/cap1/reorder": {ok: false, witness: "extra-trace"},
+	"nesteddisable/cap2/reliable": {ok: false, witness: "extra-trace"}, "nesteddisable/cap2/loss": {ok: false, witness: "deadlock"},
+	"nesteddisable/cap2/dup": {ok: false, witness: "deadlock"}, "nesteddisable/cap2/reorder": {ok: false, witness: "extra-trace"},
+
+	"pipeline/cap1/reliable": {ok: true}, "pipeline/cap1/loss": {ok: false, witness: "deadlock"},
+	"pipeline/cap1/dup": {ok: true}, "pipeline/cap1/reorder": {ok: true},
+	"pipeline/cap2/reliable": {ok: true}, "pipeline/cap2/loss": {ok: false, witness: "deadlock"},
+	"pipeline/cap2/dup": {ok: false, witness: "deadlock"}, "pipeline/cap2/reorder": {ok: true},
 }
 
 // usesDisable reports whether the spec source uses the disabling operator,
@@ -189,7 +209,11 @@ func TestCorpusFaultMatrix(t *testing.T) {
 					}
 
 					// Every extracted counterexample must replay to its
-					// reported divergence.
+					// reported divergence — through the AST interpreter and
+					// through the compiled FSM engine, with identical
+					// results (the compiled tables preserve per-state
+					// transition order, so the witness's pinned indices
+					// select the same transitions).
 					if cell.Report.Witness != nil {
 						res, err := proto.Replay(cell.Report.Witness)
 						if err != nil {
@@ -201,6 +225,13 @@ func TestCorpusFaultMatrix(t *testing.T) {
 						}
 						if cell.Report.Witness.Kind == "deadlock" && !res.Deadlocked {
 							t.Errorf("deadlock witness did not deadlock on replay:\n%s", cell.Report.Witness.Summary())
+						}
+						fres, err := proto.ReplayWith(cell.Report.Witness, "fsm")
+						if err != nil {
+							t.Fatalf("fsm replay: %v\n%s", err, cell.Report.Witness.Summary())
+						}
+						if !reflect.DeepEqual(fres, res) {
+							t.Errorf("fsm replay diverges from ast replay:\n ast: %+v\n fsm: %+v", res, fres)
 						}
 					}
 

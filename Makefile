@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check fuzz-smoke fault-matrix-smoke run-pgd bench bench-baseline bench-server bench-equiv bench-equiv-record bench-fsm bench-fsm-record
+.PHONY: build test check fuzz-smoke fault-matrix-smoke cluster-smoke run-pgd bench bench-baseline bench-server bench-equiv bench-equiv-record bench-fsm bench-fsm-record bench-cluster bench-cluster-record
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,7 @@ check:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/sim/ ./internal/medium/ ./internal/compose/ ./internal/lts/ ./internal/service/ ./cmd/pgd/
 	$(MAKE) fault-matrix-smoke
+	$(MAKE) cluster-smoke
 	$(MAKE) fuzz-smoke
 
 # fault-matrix-smoke sweeps the whole corpus through the fault matrix once
@@ -23,6 +24,20 @@ check:
 # replaying every extracted counterexample through the concrete interpreter.
 fault-matrix-smoke:
 	$(GO) test -race -run '^(TestCorpusFaultMatrix|TestCorpusReliableColumnConformant)$$' -count=1 .
+
+# cluster-smoke is the fleet-simulator gate: the cluster engine and its CLI
+# under the race detector, then the small scenario run twice with
+# byte-compared fingerprints (the determinism contract), plus one recorded
+# session replayed through the ordinary simulator.
+cluster-smoke:
+	$(GO) test -race -short ./internal/cluster/ ./cmd/lotoscluster/
+	@a=$$($(GO) run ./cmd/lotoscluster -fingerprint scenarios/smoke.json) || exit 1; \
+	b=$$($(GO) run ./cmd/lotoscluster -fingerprint scenarios/smoke.json) || exit 1; \
+	if [ "$$a" != "$$b" ]; then \
+		echo "cluster-smoke: fingerprints diverged between runs"; exit 1; \
+	fi; \
+	echo "cluster-smoke: deterministic ($$(printf '%s\n' "$$a" | sed -n 2p))"
+	$(GO) run ./cmd/lotoscluster -replay 3 scenarios/smoke.json > /dev/null
 
 # fuzz-smoke runs each native fuzz target briefly; long fuzzing sessions
 # use `go test -fuzz` directly with a bigger -fuzztime.
@@ -73,3 +88,18 @@ bench-fsm:
 bench-fsm-record:
 	($(GO) test -run '^$$' -bench '^(BenchmarkSimulate|BenchmarkCompile)$$' -benchtime 0.5s -benchmem -json . ; \
 	 $(GO) test -run '^$$' -bench '^BenchmarkServerDeriveCompile' -benchtime 0.5s -benchmem -json ./internal/service) | tee BENCH_PR5.json
+
+# bench-cluster sweeps the fleet simulator: the discrete-event engine at 10k
+# and 100k sessions (sessions/s, per-class p99, replica fairness) against
+# the naive goroutine-per-session baseline. Also the CI smoke (benchtime=1x,
+# must complete).
+bench-cluster:
+	$(GO) test -run '^$$' -bench '^BenchmarkCluster' -benchtime $(or $(BENCHTIME),1x) -benchmem ./internal/cluster/
+
+# bench-cluster-record writes the PR 6 performance record: the full
+# 100k-session scenario result (per-class p50/p95/p99, Jain fairness,
+# sessions/sec) followed by the go-test JSON stream of the DES-vs-naive
+# benchmark sweep.
+bench-cluster-record:
+	($(GO) run ./cmd/lotoscluster -json scenarios/bench100k.json ; \
+	 $(GO) test -run '^$$' -bench '^BenchmarkCluster' -benchtime 3x -benchmem -json ./internal/cluster/) | tee BENCH_PR6.json

@@ -1,0 +1,87 @@
+package protoderive
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// TestSimulateCluster drives the facade end to end: build, run,
+// reproducibility, and single-session replay.
+func TestSimulateCluster(t *testing.T) {
+	sc := &cluster.Scenario{
+		Name:         "facade",
+		Seed:         23,
+		Sessions:     80,
+		Replicas:     2,
+		KeepSessions: true,
+		Classes: []cluster.ClassSpec{
+			{Name: "seq", Source: "SPEC a1; b2; c3; exit ENDSPEC", RatePerSec: 400},
+			{Name: "par", Source: "SPEC a1; exit ||| b2; exit ENDSPEC",
+				Arrival: cluster.DistGamma, Shape: 0.9, RatePerSec: 250},
+		},
+	}
+	r1, err := SimulateCluster(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Arrivals != 80 || r1.Completed == 0 {
+		t.Fatalf("run: %+v", r1)
+	}
+	m, err := BuildCluster(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Fingerprint() != r2.Fingerprint() {
+		t.Fatal("facade runs not reproducible")
+	}
+	for _, rec := range r2.Sessions {
+		if rec.Outcome == "rejected" {
+			continue
+		}
+		if _, err := m.ReplaySession(rec); err != nil {
+			t.Fatalf("replay %d: %v", rec.ID, err)
+		}
+	}
+}
+
+// TestSimulateClusterRejectsBadScenario checks the facade's error contract.
+func TestSimulateClusterRejectsBadScenario(t *testing.T) {
+	if _, err := SimulateCluster(&cluster.Scenario{Sessions: 5}); err == nil {
+		t.Error("accepted a scenario with no classes")
+	}
+	if _, err := LoadClusterScenario("/nonexistent/scenario.json"); err == nil {
+		t.Error("loaded a nonexistent scenario")
+	}
+}
+
+// TestLoadClusterScenario round-trips a scenario file through the facade.
+func TestLoadClusterScenario(t *testing.T) {
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "s.spec")
+	if err := os.WriteFile(spec, []byte("SPEC a1; b2; exit ENDSPEC"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "c.json")
+	body := `{"name":"f","seed":1,"sessions":10,"classes":[{"spec":"s.spec","ratePerSec":50}]}`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := LoadClusterScenario(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := SimulateCluster(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Arrivals != 10 {
+		t.Fatalf("arrivals %d", r.Arrivals)
+	}
+}

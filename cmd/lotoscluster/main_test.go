@@ -1,0 +1,111 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/cli"
+)
+
+func runCluster(t *testing.T, args []string, stdin string) (int, string, string) {
+	t.Helper()
+	var out, errw strings.Builder
+	code := run(args, strings.NewReader(stdin), &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+const scenario = `{
+  "name": "cli",
+  "seed": 17,
+  "sessions": 60,
+  "replicas": 2,
+  "keepSessions": true,
+  "classes": [
+    {"name": "seq", "source": "SPEC a1; b2; c3; exit ENDSPEC", "ratePerSec": 500},
+    {"name": "par", "source": "SPEC a1; exit ||| b2; exit ENDSPEC",
+     "arrival": "gamma", "shape": 0.8, "ratePerSec": 300, "slo": "10ms"}
+  ]
+}`
+
+func TestClusterStdin(t *testing.T) {
+	code, out, errw := runCluster(t, []string{"-"}, scenario)
+	if code != cli.ExitOK {
+		t.Fatalf("exit %d: %s", code, errw)
+	}
+	for _, want := range []string{"scenario:   cli", "60 arrived", "digest:", "seq", "par"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestClusterFingerprintDeterministic(t *testing.T) {
+	code1, out1, _ := runCluster(t, []string{"-fingerprint", "-"}, scenario)
+	code2, out2, _ := runCluster(t, []string{"-fingerprint", "-"}, scenario)
+	if code1 != cli.ExitOK || code2 != cli.ExitOK {
+		t.Fatalf("exits %d %d", code1, code2)
+	}
+	if out1 != out2 {
+		t.Fatalf("fingerprints differ:\n%s\nvs\n%s", out1, out2)
+	}
+	if !strings.Contains(out1, "seed=17") || !strings.Contains(out1, "digest=") {
+		t.Errorf("fingerprint content:\n%s", out1)
+	}
+}
+
+func TestClusterOverrides(t *testing.T) {
+	code, out, errw := runCluster(t, []string{"-sessions", "25", "-seed", "99", "-replicas", "3", "-router", "affinity", "-"}, scenario)
+	if code != cli.ExitOK {
+		t.Fatalf("exit %d: %s", code, errw)
+	}
+	if !strings.Contains(out, "25 arrived") || !strings.Contains(out, "seed 99") || !strings.Contains(out, "affinity") {
+		t.Errorf("overrides not applied:\n%s", out)
+	}
+}
+
+func TestClusterJSON(t *testing.T) {
+	code, out, errw := runCluster(t, []string{"-json", "-"}, scenario)
+	if code != cli.ExitOK {
+		t.Fatalf("exit %d: %s", code, errw)
+	}
+	var res struct {
+		Admitted int
+		Classes  []struct{ Name string }
+	}
+	if err := json.Unmarshal([]byte(out), &res); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if res.Admitted == 0 || len(res.Classes) != 2 {
+		t.Errorf("JSON content: %+v", res)
+	}
+}
+
+func TestClusterReplay(t *testing.T) {
+	code, out, errw := runCluster(t, []string{"-replay", "3", "-"}, scenario)
+	if code != cli.ExitOK {
+		t.Fatalf("exit %d: %s", code, errw)
+	}
+	if !strings.Contains(out, "session 3") || !strings.Contains(out, "replay matches") {
+		t.Errorf("replay output:\n%s", out)
+	}
+	if code, _, errw := runCluster(t, []string{"-replay", "5000", "-"}, scenario); code != cli.ExitUsage || !strings.Contains(errw, "no session") {
+		t.Errorf("missing session: code=%d err=%q", code, errw)
+	}
+}
+
+func TestClusterBadInput(t *testing.T) {
+	if code, _, _ := runCluster(t, []string{"-"}, `{broken`); code != cli.ExitUsage {
+		t.Errorf("malformed JSON: exit %d", code)
+	}
+	if code, _, _ := runCluster(t, []string{}, ""); code != cli.ExitUsage {
+		t.Errorf("missing file: exit %d", code)
+	}
+	if code, _, errw := runCluster(t, []string{"/nonexistent/scn.json"}, ""); code != cli.ExitUsage || errw == "" {
+		t.Errorf("missing path: exit %d", code)
+	}
+	bad := `{"sessions": 5, "classes": [{"source": "SPEC a1; exit ENDSPEC", "ratePerSec": 1, "arrival": "zipf"}]}`
+	if code, _, errw := runCluster(t, []string{"-"}, bad); code != cli.ExitUsage || !strings.Contains(errw, "zipf") {
+		t.Errorf("bad distribution: exit %d err %q", code, errw)
+	}
+}

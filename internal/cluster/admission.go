@@ -1,0 +1,53 @@
+package cluster
+
+// Admission control: a token bucket on the virtual clock. The bucket holds
+// up to burst tokens, refills continuously at ratePerSec tokens per virtual
+// second, and each arriving session spends one token or is rejected. Refill
+// is computed lazily from the elapsed virtual time at each arrival, so the
+// bucket costs O(1) per decision and is exactly reproducible: the decision
+// sequence is a pure function of the arrival times.
+
+// tokenBucket is the virtual-clock token bucket. A nil bucket admits
+// everything.
+type tokenBucket struct {
+	ratePerNs float64 // tokens per virtual nanosecond
+	burst     float64
+	tokens    float64
+	last      int64 // virtual time of the last refill
+}
+
+// newTokenBucket builds a bucket that starts full. rate <= 0 disables
+// admission control (returns nil).
+func newTokenBucket(ratePerSec, burst float64) *tokenBucket {
+	if ratePerSec <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &tokenBucket{
+		ratePerNs: ratePerSec / 1e9,
+		burst:     burst,
+		tokens:    burst,
+	}
+}
+
+// allow spends one token at virtual time now, reporting whether one was
+// available.
+func (b *tokenBucket) allow(now int64) bool {
+	if b == nil {
+		return true
+	}
+	if now > b.last {
+		b.tokens += float64(now-b.last) * b.ratePerNs
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true
+	}
+	return false
+}

@@ -1,0 +1,161 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// benchScenario is the in-memory benchmark workload: three classes over the
+// three arrival families at a combined 100k arrivals/sec offered rate.
+func benchScenario(sessions int) *Scenario {
+	return &Scenario{
+		Name:     "bench",
+		Seed:     1234,
+		Sessions: sessions,
+		Replicas: 4,
+		Router:   RouteLeastLoaded,
+		Classes: []ClassSpec{
+			{Name: "seq", Source: "SPEC a1; b2; c3; exit ENDSPEC", RatePerSec: 50000},
+			{Name: "par", Source: "SPEC a1; exit ||| b2; exit ENDSPEC",
+				Arrival: DistGamma, Shape: 0.7, RatePerSec: 30000, SLO: "10ms"},
+			{Name: "choice", Source: "SPEC a1; b2; exit [] c1; d3; b2; exit ENDSPEC",
+				Arrival: DistWeibull, Shape: 1.3, RatePerSec: 20000},
+		},
+	}
+}
+
+// BenchmarkClusterDES measures the discrete-event engine: sessions per wall
+// second, per-class p99, and replica fairness, at 10k and 100k sessions.
+func BenchmarkClusterDES(b *testing.B) {
+	for _, n := range []int{10000, 100000} {
+		b.Run(fmt.Sprintf("sessions=%d", n), func(b *testing.B) {
+			m, err := Build(benchScenario(n))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var last *Result
+			for i := 0; i < b.N; i++ {
+				last, err = m.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(last.Admitted)*float64(b.N)/b.Elapsed().Seconds(), "sessions/s")
+			for _, c := range last.Classes {
+				b.ReportMetric(float64(c.P99)/1e6, c.Name+"-p99-ms")
+			}
+			b.ReportMetric(last.ReplicaFairness, "replica-jain")
+		})
+	}
+}
+
+// BenchmarkClusterNaiveGoroutines is the baseline the virtual clock
+// replaces: one goroutine per session, every session launched at once, no
+// clock, no latency model. It measures raw execution throughput only — the
+// naive design cannot produce latency percentiles, fairness, admission or
+// routing behaviour at all, and one goroutine (plus one live Session) per
+// concurrent session bounds its scale; the DES holds only the arrival
+// window live. Capped at 20k sessions to keep the goroutine flood's memory
+// in check; sessions/s is directly comparable to the DES metric.
+func BenchmarkClusterNaiveGoroutines(b *testing.B) {
+	for _, n := range []int{10000, 20000} {
+		b.Run(fmt.Sprintf("sessions=%d", n), func(b *testing.B) {
+			m, err := Build(benchScenario(n))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var failures atomic.Int64
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for id := 0; id < n; id++ {
+					wg.Add(1)
+					go func(id int) {
+						defer wg.Done()
+						cm := m.classes[id%len(m.classes)]
+						s, err := sim.NewFleetSession(cm.fleet, sim.Config{
+							Seed:      sim.SubSeed(1234, sim.RoleSession, id),
+							MaxEvents: cm.maxEvents,
+						})
+						if err != nil {
+							failures.Add(1)
+							return
+						}
+						s.StepN(0)
+						_ = s.Result()
+						s.Close()
+					}(id)
+				}
+				wg.Wait()
+			}
+			if failures.Load() > 0 {
+				b.Fatalf("%d sessions failed to start", failures.Load())
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "sessions/s")
+		})
+	}
+}
+
+// TestBench100kScenarioDeterministic is the scale acceptance check: the
+// 100k-session benchmark scenario, run twice, produces byte-identical
+// fingerprints (counters, histograms, fairness, trace digest), and sampled
+// sessions replay exactly through the ordinary simulator.
+func TestBench100kScenarioDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100k-session scenario (a few seconds); run without -short")
+	}
+	sc, err := LoadScenario("../../scenarios/bench100k.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.KeepSessions = true
+	m, err := Build(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Fingerprint() != r2.Fingerprint() {
+		t.Fatalf("100k-session runs diverged:\n%s\nvs\n%s", r1.Fingerprint(), r2.Fingerprint())
+	}
+	if r1.Arrivals != 100000 {
+		t.Fatalf("arrivals %d, want 100000", r1.Arrivals)
+	}
+	for _, idx := range []int{0, len(r1.Sessions) / 2, len(r1.Sessions) - 1} {
+		rec := r1.Sessions[idx]
+		if rec.Outcome == "rejected" {
+			continue
+		}
+		if _, err := m.ReplaySession(rec); err != nil {
+			t.Errorf("session %d: %v", rec.ID, err)
+		}
+	}
+}
+
+// TestSmokeScenarioFile keeps scenarios/smoke.json (the make cluster-smoke
+// input) loadable, runnable and deterministic under plain go test.
+func TestSmokeScenarioFile(t *testing.T) {
+	sc, err := LoadScenario("../../scenarios/smoke.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := mustRun(t, mustBuild(t, sc))
+	r2 := mustRun(t, mustBuild(t, sc))
+	if r1.Fingerprint() != r2.Fingerprint() {
+		t.Fatal("smoke scenario not deterministic")
+	}
+	if r1.Arrivals != sc.Sessions || r1.Admitted == 0 {
+		t.Fatalf("smoke run: %+v", r1)
+	}
+}

@@ -1,0 +1,87 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestHistogramQuantiles checks the fixed-bucket estimates against a known
+// distribution: uniform latencies over [1ms, 100ms] must put the quantiles
+// within one bucket's relative resolution (×1.2 growth → ≤20%).
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * 100 * time.Microsecond) // 0.1ms..100ms
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count %d", h.Count())
+	}
+	checks := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 50 * time.Millisecond},
+		{0.95, 95 * time.Millisecond},
+		{0.99, 99 * time.Millisecond},
+	}
+	for _, c := range checks {
+		got := h.Quantile(c.q)
+		if ratio := float64(got) / float64(c.want); ratio < 0.8 || ratio > 1.2 {
+			t.Errorf("q%.2f = %s, want %s ± 20%%", c.q, got, c.want)
+		}
+	}
+	if h.Max() != 100*time.Millisecond {
+		t.Errorf("max %s", h.Max())
+	}
+	if mean := h.Mean(); mean < 49*time.Millisecond || mean > 51*time.Millisecond {
+		t.Errorf("mean %s, want ~50.05ms (exact moments, not bucketed)", mean)
+	}
+	// Quantiles never exceed the observed maximum.
+	if h.Quantile(1.0) > h.Max() {
+		t.Errorf("q1.0 %s beyond max %s", h.Quantile(1.0), h.Max())
+	}
+	// CountBelow at the median of the uniform: about half.
+	if below := h.CountBelow(50 * time.Millisecond); below < 400 || below > 600 {
+		t.Errorf("CountBelow(50ms) = %f", below)
+	}
+}
+
+// TestHistogramEdgeCases: empty histogram, single observation, overflow
+// bucket.
+func TestHistogramEdgeCases(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Jain() != 1 {
+		t.Fatal("empty histogram not neutral")
+	}
+	h.Observe(5 * time.Hour) // beyond the last bound (~3.1h): overflow bucket
+	if h.Quantile(0.99) != 5*time.Hour {
+		t.Errorf("overflow quantile %s", h.Quantile(0.99))
+	}
+	var one Histogram
+	one.Observe(time.Millisecond)
+	if q := one.Quantile(0.5); q > time.Millisecond*12/10 || q < time.Millisecond*8/10 {
+		t.Errorf("single-observation quantile %s", q)
+	}
+}
+
+// TestJain checks both fairness forms: perfectly equal allocations score 1,
+// a one-hot allocation scores 1/n.
+func TestJain(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 10; i++ {
+		h.Observe(5 * time.Millisecond)
+	}
+	if j := h.Jain(); math.Abs(j-1) > 1e-9 {
+		t.Errorf("equal latencies: Jain %f", j)
+	}
+	if j := JainIndex([]float64{4, 4, 4, 4}); math.Abs(j-1) > 1e-9 {
+		t.Errorf("equal allocation: %f", j)
+	}
+	if j := JainIndex([]float64{1, 0, 0, 0}); math.Abs(j-0.25) > 1e-9 {
+		t.Errorf("one-hot allocation: %f, want 0.25", j)
+	}
+	if j := JainIndex(nil); j != 1 {
+		t.Errorf("empty allocation: %f", j)
+	}
+}

@@ -1,0 +1,74 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Session routing. A scenario simulates a pool of backend replicas; every
+// admitted session is pinned to one replica for its lifetime, and the
+// router decides which. All three policies are deterministic functions of
+// the visible cluster state, so routing never consumes randomness and a
+// seeded run is bit-reproducible.
+
+// Router policy names.
+const (
+	RouteRoundRobin  = "round-robin"
+	RouteLeastLoaded = "least-loaded"
+	RouteAffinity    = "affinity"
+)
+
+// router picks a replica for a session of the given class.
+type router interface {
+	pick(classIdx int, replicas []replicaState) int
+}
+
+// newRouter builds the named policy. classDigests supplies each class's
+// spec digest for prefix-affinity routing.
+func newRouter(name string, classDigests [][32]byte) (router, error) {
+	switch name {
+	case "", RouteRoundRobin:
+		return &roundRobinRouter{}, nil
+	case RouteLeastLoaded:
+		return leastLoadedRouter{}, nil
+	case RouteAffinity:
+		return affinityRouter{digests: classDigests}, nil
+	}
+	return nil, fmt.Errorf("cluster: unknown router %q (want %s, %s or %s)",
+		name, RouteRoundRobin, RouteLeastLoaded, RouteAffinity)
+}
+
+// roundRobinRouter cycles through the replicas in arrival order.
+type roundRobinRouter struct{ next int }
+
+func (r *roundRobinRouter) pick(_ int, replicas []replicaState) int {
+	i := r.next % len(replicas)
+	r.next = (r.next + 1) % len(replicas)
+	return i
+}
+
+// leastLoadedRouter picks the replica with the fewest active sessions,
+// lowest index on ties.
+type leastLoadedRouter struct{}
+
+func (leastLoadedRouter) pick(_ int, replicas []replicaState) int {
+	best := 0
+	for i := 1; i < len(replicas); i++ {
+		if replicas[i].active < replicas[best].active {
+			best = i
+		}
+	}
+	return best
+}
+
+// affinityRouter routes by a prefix of the class's spec digest: every
+// session of one specification lands on the same replica (the placement a
+// content-addressed derivation cache wants — the replica that has compiled
+// the spec keeps serving it), at the price of hotspots when the class mix
+// is skewed.
+type affinityRouter struct{ digests [][32]byte }
+
+func (r affinityRouter) pick(classIdx int, replicas []replicaState) int {
+	prefix := binary.BigEndian.Uint64(r.digests[classIdx][:8])
+	return int(prefix % uint64(len(replicas)))
+}

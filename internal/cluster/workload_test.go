@@ -1,0 +1,89 @@
+package cluster
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"time"
+)
+
+// TestArrivalMeans checks the rate normalization: whatever the family and
+// shape, the empirical mean interarrival time must match 1/rate.
+func TestArrivalMeans(t *testing.T) {
+	cases := []struct {
+		dist  string
+		shape float64
+	}{
+		{DistPoisson, 0},
+		{DistGamma, 0.5},
+		{DistGamma, 1},
+		{DistGamma, 4},
+		{DistWeibull, 0.7},
+		{DistWeibull, 1},
+		{DistWeibull, 2.5},
+	}
+	const rate = 100.0 // mean 10ms
+	want := float64(time.Second) / rate
+	for _, c := range cases {
+		rng := rand.New(rand.NewPCG(12345, 0x9e3779b97f4a7c15))
+		g, err := newArrivalGen(c.dist, rate, c.shape, rng)
+		if err != nil {
+			t.Fatalf("%s/%g: %v", c.dist, c.shape, err)
+		}
+		const n = 200000
+		var sum float64
+		for i := 0; i < n; i++ {
+			d := g.next()
+			if d < 1 {
+				t.Fatalf("%s/%g: non-positive interarrival %d", c.dist, c.shape, d)
+			}
+			sum += float64(d)
+		}
+		mean := sum / n
+		if rel := math.Abs(mean-want) / want; rel > 0.05 {
+			t.Errorf("%s/%g: mean %.0fns, want %.0fns (rel err %.3f)", c.dist, c.shape, mean, want, rel)
+		}
+	}
+}
+
+// TestArrivalDeterminism: same seed, same stream.
+func TestArrivalDeterminism(t *testing.T) {
+	draw := func() []int64 {
+		rng := rand.New(rand.NewPCG(99, 0x9e3779b97f4a7c15))
+		g, err := newArrivalGen(DistGamma, 50, 0.6, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]int64, 50)
+		for i := range out {
+			out[i] = g.next()
+		}
+		return out
+	}
+	a, b := draw(), draw()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+// TestArrivalValidation covers the constructor's error paths; a nil RNG is
+// fine for validation-only use.
+func TestArrivalValidation(t *testing.T) {
+	if _, err := newArrivalGen(DistPoisson, 0, 0, nil); err == nil {
+		t.Error("accepted zero rate")
+	}
+	if _, err := newArrivalGen(DistGamma, 1, 0, nil); err == nil {
+		t.Error("accepted gamma without shape")
+	}
+	if _, err := newArrivalGen(DistWeibull, 1, -1, nil); err == nil {
+		t.Error("accepted negative weibull shape")
+	}
+	if _, err := newArrivalGen("zipf", 1, 1, nil); err == nil {
+		t.Error("accepted unknown distribution")
+	}
+	if g, err := newArrivalGen("", 1, 0, nil); err != nil || g.dist != DistPoisson {
+		t.Errorf("empty distribution should default to poisson: %v %+v", err, g)
+	}
+}

@@ -58,7 +58,8 @@ func RunMany(service *lotos.Spec, entities map[int]*lotos.Spec, cfg Config, n in
 	base := cfg.Seed
 	for i := 0; i < n; i++ {
 		cfg.Seed = base + int64(i)
-		cfg.Medium.Seed = cfg.Seed + 7919
+		// Medium and harness sub-seeds derive from the run seed (SubSeed),
+		// so consecutive runs get disjoint streams without arithmetic here.
 		cfg.Harness = nil // fresh seeded harness per run
 		res, err := Run(entities, cfg)
 		if err != nil {

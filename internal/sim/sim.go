@@ -16,7 +16,6 @@ package sim
 import (
 	"fmt"
 	"math/rand/v2"
-	"sort"
 	"sync"
 	"time"
 
@@ -119,10 +118,16 @@ func (h *Scripted) Remaining() int {
 // Config tunes a simulation run.
 type Config struct {
 	// Seed drives every random choice of the run (scheduling decisions,
-	// harness, medium delays/losses derive their seeds from it).
+	// harness, medium delays/losses derive their seeds from it via SubSeed).
 	Seed int64
-	// Medium configures the underlying communication medium.
+	// Medium configures the underlying communication medium. A zero
+	// Medium.Seed is derived from Seed unless MediumSeedSet pins it.
 	Medium medium.Config
+	// MediumSeedSet marks Medium.Seed as deliberately chosen even when it is
+	// zero. Without it a zero Medium.Seed means "unset" and the run derives
+	// one from Seed — which would make an explicitly pinned seed 0
+	// unreproducible by request.
+	MediumSeedSet bool
 	// Reliable interposes the stop-and-wait ARQ layer (medium.Reliable)
 	// between the entities and a lossy wire, realizing the Section-6
 	// error-recovery transformation: Medium.LossRate and Medium.MaxDelay
@@ -313,6 +318,20 @@ func (w *world) stopStuck(deadlock bool) {
 	w.mu.Unlock()
 }
 
+// resolveSeeds fills the config's derived random streams: the default
+// harness and the medium seed. Sub-seeds come from the SplitMix64 mix
+// (SubSeed), never from seed arithmetic — see seed.go. An explicitly pinned
+// Medium.Seed (non-zero, or zero with MediumSeedSet) is left untouched.
+func resolveSeeds(cfg Config) Config {
+	if cfg.Harness == nil {
+		cfg.Harness = NewAcceptAll(SubSeed(cfg.Seed, roleHarness, 0))
+	}
+	if cfg.Medium.Seed == 0 && !cfg.MediumSeedSet {
+		cfg.Medium.Seed = SubSeed(cfg.Seed, roleMedium, 0)
+	}
+	return cfg
+}
+
 // Run executes the protocol entities concurrently until all terminate, the
 // run deadlocks, MaxEvents service primitives were executed, or the timeout
 // expires.
@@ -320,12 +339,7 @@ func Run(entities map[int]*lotos.Spec, cfg Config) (*Result, error) {
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 5 * time.Second
 	}
-	if cfg.Harness == nil {
-		cfg.Harness = NewAcceptAll(cfg.Seed + 1)
-	}
-	if cfg.Medium.Seed == 0 {
-		cfg.Medium.Seed = cfg.Seed + 2
-	}
+	cfg = resolveSeeds(cfg)
 	var med medium.Transport
 	if cfg.Reliable {
 		med = medium.NewReliable(medium.ReliableConfig{
@@ -342,56 +356,35 @@ func Run(entities map[int]*lotos.Spec, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("sim: lockstep requires the immediate medium (no Reliable, no MaxDelay)")
 	}
 
-	places := make([]int, 0, len(entities))
-	for p := range entities {
-		places = append(places, p)
-	}
-	// Ascending place order fixes the per-entity scheduling seeds, so a run
-	// is identified by cfg.Seed alone (and by engine-independent design,
-	// produces the same execution under either engine when Lockstep is on).
-	sort.Ints(places)
+	places := entityPlaces(entities)
 	w := newWorld(len(places), med, cfg.MaxEvents)
-
-	var fleet *fsm.Fleet
-	if cfg.Engine == EngineFSM {
-		fleet = cfg.Fleet
-		if fleet == nil {
-			fleet = fsm.CompileEntities(entities, cfg.Compile)
-		}
-	}
-	engines := make(map[int]Engine, len(places))
-	runners := make([]*runner, len(places))
-	for i, p := range places {
-		var st stepper
-		engines[p] = EngineAST
-		if fleet != nil {
-			if m := fleet.Machines[p]; m != nil {
-				st = newFSMStepper(m)
-				engines[p] = EngineFSM
-			}
-		}
-		if st == nil {
-			ast, err := newASTStepper(p, entities[p])
-			if err != nil {
-				return nil, err
-			}
-			st = ast
-		}
-		runners[i] = newRunner(p, st, med, w, cfg, cfg.Seed+int64(100+i))
+	runners, engines, err := buildRunners(entities, places, med, w, cfg)
+	if err != nil {
+		return nil, err
 	}
 
 	// The sim ticker wakes waiters periodically while asynchronous medium
 	// events (delayed visibility, ARQ retransmission and delivery) may
-	// change what an entity can do.
+	// change what an entity can do. It exits promptly when Run returns: a
+	// plain sleep loop would keep bumping a closed world for up to a full
+	// tick after the run is over.
 	if cfg.Medium.MaxDelay > 0 || cfg.Reliable {
 		tick := cfg.Medium.MaxDelay / 4
 		if tick <= 0 {
 			tick = time.Millisecond
 		}
+		stopTick := make(chan struct{})
+		defer close(stopTick)
 		go func() {
-			for !w.isStopped() {
-				time.Sleep(tick)
-				w.bump()
+			t := time.NewTicker(tick)
+			defer t.Stop()
+			for {
+				select {
+				case <-stopTick:
+					return
+				case <-t.C:
+					w.bump()
+				}
 			}
 		}()
 	}
@@ -399,19 +392,19 @@ func Run(entities map[int]*lotos.Spec, cfg Config) (*Result, error) {
 	timer := time.AfterFunc(cfg.Timeout, func() { w.stop(true) })
 	defer timer.Stop()
 
-	blocked := make(map[int]string, len(places))
+	var blocked map[int]string
 	if cfg.Lockstep {
-		if err := runLockstep(runners, w, med); err != nil {
+		// The lockstep scheduler is the Session seam run to completion on
+		// the calling goroutine (the cluster simulator advances the same
+		// loop quantum by quantum, so a cluster session and a lockstep Run
+		// with the same seed are the same execution).
+		s := &Session{runners: runners, w: w, med: med, engines: engines}
+		if _, _, err := s.StepN(0); err != nil {
 			return nil, err
 		}
-		for _, r := range runners {
-			if r.done {
-				blocked[r.place] = "terminated"
-			} else {
-				blocked[r.place] = r.step.describe()
-			}
-		}
+		blocked = s.blockedStates()
 	} else {
+		blocked = make(map[int]string, len(places))
 		var blockedMu sync.Mutex
 		var wg sync.WaitGroup
 		errs := make(chan error, len(places))
@@ -443,14 +436,20 @@ func Run(entities map[int]*lotos.Spec, cfg Config) (*Result, error) {
 		}
 	}
 
+	return w.snapshot(med.Stats(), blocked, engines), nil
+}
+
+// snapshot freezes the world into a Result.
+func (w *world) snapshot(ms medium.Stats, blocked map[int]string, engines map[int]Engine) *Result {
 	w.mu.Lock()
+	defer w.mu.Unlock()
 	res := &Result{
 		Trace:         append([]TraceEvent(nil), w.trace...),
 		Completed:     w.done == w.total,
 		Deadlocked:    w.deadlock,
 		TimedOut:      w.timedOut,
 		Stopped:       w.maxhit,
-		Medium:        med.Stats(),
+		Medium:        ms,
 		Blocked:       blocked,
 		EventsByPlace: map[int]int{},
 		Engines:       engines,
@@ -458,44 +457,5 @@ func Run(entities map[int]*lotos.Spec, cfg Config) (*Result, error) {
 	for _, te := range res.Trace {
 		res.EventsByPlace[te.Place]++
 	}
-	w.mu.Unlock()
-	return res, nil
-}
-
-// runLockstep drives the runners on the calling goroutine: repeated sweeps
-// in ascending place order, one step attempt per entity per sweep, until
-// every entity terminated, the world stopped (MaxEvents, timeout), or a full
-// sweep made no progress — with the immediate medium nothing asynchronous
-// can unblock such a sweep, so the run is over (deadlock when no message is
-// in flight).
-func runLockstep(runners []*runner, w *world, med medium.Transport) error {
-	for !w.isStopped() {
-		progress := false
-		alive := 0
-		for _, r := range runners {
-			if r.done || w.isStopped() {
-				continue
-			}
-			alive++
-			progressed, done, err := r.stepOnce()
-			if err != nil {
-				w.stop(false)
-				return fmt.Errorf("entity %d: %w", r.place, err)
-			}
-			if done {
-				r.done = true
-			}
-			if progressed {
-				progress = true
-			}
-		}
-		if alive == 0 {
-			break
-		}
-		if !progress {
-			w.stopStuck(med.InFlight() == 0)
-		}
-	}
-	w.stop(false)
-	return nil
+	return res
 }

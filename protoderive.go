@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/attr"
+	"repro/internal/cluster"
 	"repro/internal/compose"
 	"repro/internal/core"
 	"repro/internal/fsm"
@@ -1007,6 +1008,48 @@ func (c *Centralized) EntityText(place int) string {
 // MessageCount returns the number of messages a centralized execution
 // exchanges (two per remote primitive plus the final halt broadcast).
 func (c *Centralized) MessageCount() int { return c.d.MessageCount() }
+
+// ClusterModel is a built cluster scenario: every class parsed, derived and
+// compiled, ready to Run repeatedly and to replay any recorded session. It
+// aliases internal/cluster's Model so facade users never import internal
+// packages.
+type ClusterModel = cluster.Model
+
+// BuildCluster compiles a fleet-scale simulation scenario: for every SLO
+// class it parses the service, derives the protocol entities (the paper's
+// Section-4 algorithm) and compiles them to table-driven machines. The
+// returned model runs thousands-to-millions of concurrent sessions on a
+// virtual clock, deterministically from the scenario seed.
+func BuildCluster(sc *cluster.Scenario) (m *ClusterModel, err error) {
+	defer guard(&err)
+	m, err = cluster.Build(sc)
+	if err != nil {
+		return nil, specErr(err)
+	}
+	return m, nil
+}
+
+// SimulateCluster builds and runs a scenario in one call. For repeated runs
+// or session replay, use BuildCluster and the model's Run/ReplaySession.
+func SimulateCluster(sc *cluster.Scenario) (res *cluster.Result, err error) {
+	defer guard(&err)
+	m, err := cluster.Build(sc)
+	if err != nil {
+		return nil, specErr(err)
+	}
+	return m.Run()
+}
+
+// LoadClusterScenario reads a scenario file (JSON; class spec paths resolve
+// against the file's directory).
+func LoadClusterScenario(path string) (sc *cluster.Scenario, err error) {
+	defer guard(&err)
+	sc, err = cluster.LoadScenario(path)
+	if err != nil {
+		return nil, specErr(err)
+	}
+	return sc, nil
+}
 
 // Version identifies the library.
 const Version = "1.0.0"

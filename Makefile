@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check fuzz-smoke fault-matrix-smoke cluster-smoke run-pgd bench bench-baseline bench-server bench-equiv bench-equiv-record bench-fsm bench-fsm-record bench-cluster bench-cluster-record
+.PHONY: build test check fuzz-smoke fault-matrix-smoke cluster-smoke dist-smoke run-pgd bench bench-baseline bench-server bench-equiv bench-equiv-record bench-fsm bench-fsm-record bench-cluster bench-cluster-record bench-dist bench-dist-record
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,7 @@ check:
 	$(GO) test -race ./internal/sim/ ./internal/medium/ ./internal/compose/ ./internal/lts/ ./internal/service/ ./cmd/pgd/
 	$(MAKE) fault-matrix-smoke
 	$(MAKE) cluster-smoke
+	$(MAKE) dist-smoke
 	$(MAKE) fuzz-smoke
 
 # fault-matrix-smoke sweeps the whole corpus through the fault matrix once
@@ -38,6 +39,15 @@ cluster-smoke:
 	fi; \
 	echo "cluster-smoke: deterministic ($$(printf '%s\n' "$$a" | sed -n 2p))"
 	$(GO) run ./cmd/lotoscluster -replay 3 scenarios/smoke.json > /dev/null
+
+# dist-smoke is the fleet gate: the ring/coordinator/batch/SSE tests under
+# the race detector, then the multi-process acceptance lane — a real pgd
+# binary booted as `-coordinator -spawn 2`, the whole corpus fault matrix
+# streamed through POST /v1/batch, every verdict compared byte-for-byte
+# (timing telemetry zeroed) against a single-process daemon.
+dist-smoke:
+	$(GO) test -race -count=1 ./internal/dist/
+	$(GO) test -race -count=1 -run '^(TestDistSmoke|TestCoordinatorEndToEnd|TestServeUntilDrainsInFlight|TestServeUntilGraceExceeded)$$' ./cmd/pgd/
 
 # fuzz-smoke runs each native fuzz target briefly; long fuzzing sessions
 # use `go test -fuzz` directly with a bigger -fuzztime.
@@ -103,3 +113,18 @@ bench-cluster:
 bench-cluster-record:
 	($(GO) run ./cmd/lotoscluster -json scenarios/bench100k.json ; \
 	 $(GO) test -run '^$$' -bench '^BenchmarkCluster' -benchtime 3x -benchmem -json ./internal/cluster/) | tee BENCH_PR6.json
+
+# bench-dist sweeps the fleet: cold-derive throughput direct vs through a
+# 4-worker coordinator (routing overhead), the capacity-bounded scaling
+# lane (1 process vs a 4-worker fleet of processes each modelling one
+# machine — the ≥3× acceptance bar), and streamed-batch throughput. Also
+# the CI smoke (benchtime=1x, must complete).
+bench-dist:
+	$(GO) test -run '^$$' -bench '^(BenchmarkDirectDeriveCold|BenchmarkFleet|BenchmarkCapacity)' -benchtime $(or $(BENCHTIME),1x) -benchmem ./internal/dist/
+
+# bench-dist-record writes the PR 7 performance record: a hardware note
+# first (the capacity lane models per-machine service time because CI runs
+# every "machine" on one box), then the go-test JSON stream.
+bench-dist-record:
+	(echo '{"note":"capacity lane models per-machine service time (2ms floor, 1 derive slot/process); all processes share this host","host":"'"$$(uname -sr)"'","cpus":'"$$(nproc)"'}' ; \
+	 $(GO) test -run '^$$' -bench '^(BenchmarkDirectDeriveCold|BenchmarkFleet|BenchmarkCapacity)' -benchtime 2s -benchmem -json ./internal/dist/) | tee BENCH_PR7.json

@@ -1,0 +1,408 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/dist"
+	"repro/internal/service"
+)
+
+func TestParseWorkers(t *testing.T) {
+	got, err := parseWorkers("127.0.0.1:9001, east=http://10.0.0.1:9001/, https://pgd.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []dist.WorkerInfo{
+		{Name: "w0", URL: "http://127.0.0.1:9001"},
+		{Name: "east", URL: "http://10.0.0.1:9001"},
+		{Name: "w2", URL: "https://pgd.example"},
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("parseWorkers = %v, want %v", got, want)
+	}
+	for _, bad := range []string{"ftp://x.example", "=nourl", "http://"} {
+		if _, err := parseWorkers(bad); err == nil {
+			t.Errorf("parseWorkers(%q) accepted", bad)
+		}
+	}
+}
+
+func TestFleetFlagValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+	}{
+		{"workers without coordinator", []string{"-workers", "127.0.0.1:9001"}},
+		{"coordinator without fleet", []string{"-coordinator"}},
+		{"bad worker url", []string{"-coordinator", "-workers", "ftp://x"}},
+		{"dotted worker name", []string{"-coordinator", "-workers", "a.b=127.0.0.1:9001"}},
+		{"zero grace", []string{"-grace", "0s"}},
+	} {
+		var out, errb bytes.Buffer
+		if code := run(tc.args, &out, &errb, nil); code != cli.ExitUsage {
+			t.Errorf("%s: exit %d, want %d (stderr %q)", tc.name, code, cli.ExitUsage, errb.String())
+		}
+	}
+}
+
+// blockingHandler parks requests until released, flagging arrival.
+type blockingHandler struct {
+	arrived chan struct{}
+	release chan struct{}
+}
+
+func (h *blockingHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.arrived <- struct{}{}
+	<-h.release
+	io.WriteString(w, "drained\n") //nolint:errcheck
+}
+
+// TestServeUntilDrainsInFlight pins the graceful-shutdown contract: a
+// request in flight when stop closes still completes, and serveUntil only
+// returns once it has.
+func TestServeUntilDrainsInFlight(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &blockingHandler{arrived: make(chan struct{}, 1), release: make(chan struct{})}
+	stop := make(chan struct{})
+	served := make(chan error, 1)
+	go func() { served <- serveUntil(ln, h, stop, io.Discard, 10*time.Second) }()
+
+	body := make(chan string, 1)
+	go func() {
+		resp, err := http.Get("http://" + ln.Addr().String())
+		if err != nil {
+			body <- "error: " + err.Error()
+			return
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		body <- string(b)
+	}()
+
+	<-h.arrived
+	close(stop)
+	select {
+	case err := <-served:
+		t.Fatalf("serveUntil returned %v with a request still in flight", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	close(h.release)
+	if err := <-served; err != nil {
+		t.Fatalf("serveUntil: %v", err)
+	}
+	if got := <-body; got != "drained\n" {
+		t.Fatalf("in-flight request got %q", got)
+	}
+}
+
+// TestServeUntilGraceExceeded pins the bound: a handler that never returns
+// cannot hold shutdown past the grace period, and the overrun is an error.
+func TestServeUntilGraceExceeded(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &blockingHandler{arrived: make(chan struct{}, 1), release: make(chan struct{})}
+	defer close(h.release)
+	stop := make(chan struct{})
+	served := make(chan error, 1)
+	go func() { served <- serveUntil(ln, h, stop, io.Discard, 50*time.Millisecond) }()
+	go http.Get("http://" + ln.Addr().String()) //nolint:errcheck
+	<-h.arrived
+	close(stop)
+	select {
+	case err := <-served:
+		if err == nil || !strings.Contains(err.Error(), "grace") {
+			t.Fatalf("serveUntil = %v, want grace-period error", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serveUntil hung past the grace period")
+	}
+}
+
+// startDaemon boots run() on an ephemeral port and returns its base URL,
+// handle, and a shutdown-and-check function.
+func startDaemon(t *testing.T, args []string) (string, serverHandle, func()) {
+	t.Helper()
+	ready := make(chan serverHandle, 1)
+	var out, errb bytes.Buffer
+	code := make(chan int, 1)
+	go func() { code <- run(append([]string{"-addr", "127.0.0.1:0"}, args...), &out, &errb, ready) }()
+	var h serverHandle
+	select {
+	case h = <-ready:
+	case <-time.After(15 * time.Second):
+		t.Fatalf("daemon %v did not come up; stderr: %s", args, errb.String())
+	}
+	var once sync.Once
+	stop := func() {
+		once.Do(func() {
+			close(h.Stop)
+			select {
+			case c := <-code:
+				if c != cli.ExitOK {
+					t.Errorf("daemon %v exit %d; stderr: %s", args, c, errb.String())
+				}
+			case <-time.After(20 * time.Second):
+				t.Errorf("daemon %v did not shut down", args)
+			}
+		})
+	}
+	return "http://" + h.Addr, h, stop
+}
+
+// TestCoordinatorEndToEnd boots two worker daemons and one coordinator
+// daemon in-process (real TCP between them) and drives a derive, a batch
+// and the fleet health page through the coordinator.
+func TestCoordinatorEndToEnd(t *testing.T) {
+	w0, _, stop0 := startDaemon(t, nil)
+	defer stop0()
+	w1, _, stop1 := startDaemon(t, nil)
+	defer stop1()
+	coordURL, _, stopC := startDaemon(t, []string{"-coordinator", "-workers", w0 + "," + w1})
+	defer stopC()
+
+	body, _ := json.Marshal(map[string]string{"spec": "SPEC a1; b2; exit ENDSPEC"})
+	resp, err := http.Post(coordURL+"/v1/derive", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Pgd-Worker") == "" {
+		t.Fatalf("derive status %d worker %q: %s", resp.StatusCode, resp.Header.Get("X-Pgd-Worker"), b)
+	}
+
+	batch, _ := json.Marshal(map[string]any{
+		"op":    "derive",
+		"specs": []string{"SPEC a1; b2; exit ENDSPEC", "SPEC c1; d2; exit ENDSPEC"},
+	})
+	resp, err = http.Post(coordURL+"/v1/batch", "application/json", bytes.NewReader(batch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := 0
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		lines++
+	}
+	resp.Body.Close()
+	if lines != 3 {
+		t.Errorf("batch stream: %d lines, want 2 items + summary", lines)
+	}
+
+	resp, err = http.Get(coordURL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health dist.FleetHealth
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health.Status != "ok" || health.RingMembers != 2 {
+		t.Errorf("fleet health = %+v", health)
+	}
+}
+
+// TestDistSmoke is the multi-process acceptance lane: build the real pgd
+// binary, boot `pgd -coordinator -spawn 2`, run the full corpus fault
+// matrix as one streamed batch, and require every verdict byte-identical
+// to a single-process daemon answering the same requests.
+func TestDistSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process smoke skipped in -short")
+	}
+	bin := filepath.Join(t.TempDir(), "pgd")
+	build := exec.Command("go", "build", "-o", bin, "repro/cmd/pgd")
+	build.Dir = moduleRoot(t)
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-coordinator", "-spawn", "2", "-addr", "127.0.0.1:0")
+	outPipe, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var errb bytes.Buffer
+	cmd.Stderr = &errb
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	waited := make(chan error, 1)
+	go func() { waited <- cmd.Wait() }()
+	defer func() {
+		cmd.Process.Signal(syscall.SIGTERM) //nolint:errcheck
+		select {
+		case <-waited:
+		case <-time.After(30 * time.Second):
+			cmd.Process.Kill() //nolint:errcheck
+			t.Error("fleet did not exit on SIGTERM")
+		}
+	}()
+
+	// The coordinator's own listen line follows the children's ([wK]-
+	// prefixed) lines.
+	addr := make(chan string, 1)
+	var fleetOut bytes.Buffer
+	go func() {
+		sc := bufio.NewScanner(outPipe)
+		for sc.Scan() {
+			line := sc.Text()
+			fleetOut.WriteString(line + "\n")
+			if rest, ok := strings.CutPrefix(line, "pgd: listening on "); ok {
+				select {
+				case addr <- rest:
+				default:
+				}
+			}
+		}
+	}()
+	var coordURL string
+	select {
+	case a := <-addr:
+		coordURL = "http://" + a
+	case err := <-waited:
+		t.Fatalf("fleet exited early: %v\nstdout:\n%s\nstderr:\n%s", err, fleetOut.String(), errb.String())
+	case <-time.After(60 * time.Second):
+		t.Fatalf("no coordinator address\nstdout:\n%s\nstderr:\n%s", fleetOut.String(), errb.String())
+	}
+
+	// Reference: an in-process single daemon answering the same requests.
+	single := service.New(service.Config{})
+	names, specs := corpus(t)
+	req := map[string]any{
+		"op":      "verify",
+		"specs":   specs,
+		"options": map[string]any{"faults": []string{"loss", "dup"}},
+	}
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(coordURL+"/v1/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	type item struct {
+		Index  int             `json:"index"`
+		Status int             `json:"status"`
+		Worker string          `json:"worker"`
+		Body   json.RawMessage `json:"body"`
+	}
+	items := map[int]item{}
+	workers := map[string]bool{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	var summary struct {
+		Done   bool `json:"done"`
+		OK     int  `json:"ok"`
+		Failed int  `json:"failed"`
+	}
+	for sc.Scan() {
+		if json.Unmarshal(sc.Bytes(), &summary) == nil && summary.Done {
+			break
+		}
+		var it item
+		if err := json.Unmarshal(sc.Bytes(), &it); err != nil {
+			t.Fatalf("bad stream line %q", sc.Text())
+		}
+		items[it.Index] = it
+		workers[it.Worker] = true
+	}
+	if len(items) != len(specs) || summary.OK != len(specs) || summary.Failed != 0 {
+		t.Fatalf("batch: %d items, summary %+v\nstderr:\n%s", len(items), summary, errb.String())
+	}
+	if len(workers) < 2 {
+		t.Errorf("all corpus specs landed on %v: fleet not sharding", workers)
+	}
+
+	// The worker's verdict bytes are relayed verbatim into each item line;
+	// NDJSON framing compacts the JSON, so compare against the compacted
+	// single-process response. The only run-dependent bytes in a verify
+	// response are the equivalence engine's wall-clock telemetry — zero
+	// those on both sides, everything else must match exactly.
+	for i, spec := range specs {
+		sreq, _ := json.Marshal(map[string]any{
+			"spec":    spec,
+			"options": map[string]any{"faults": []string{"loss", "dup"}},
+		})
+		rr := httptest.NewRecorder()
+		single.ServeHTTP(rr, httptest.NewRequest(http.MethodPost, "/v1/verify", bytes.NewReader(sreq)))
+		if rr.Code != http.StatusOK {
+			t.Fatalf("%s: single-process verify status %d: %s", names[i], rr.Code, rr.Body.String())
+		}
+		var want bytes.Buffer
+		if err := json.Compact(&want, rr.Body.Bytes()); err != nil {
+			t.Fatal(err)
+		}
+		if got := items[i]; got.Status != http.StatusOK ||
+			!bytes.Equal(scrubTimings(got.Body), scrubTimings(want.Bytes())) {
+			t.Errorf("%s: fleet verdict differs from single-process\nfleet:  %s\nsingle: %s",
+				names[i], got.Body, want.Bytes())
+		}
+	}
+}
+
+// scrubTimings zeroes the equivalence engine's wall-clock fields — the
+// only nondeterministic bytes in a verify response — leaving every other
+// byte (field order, whitespace, witnesses) intact for exact comparison.
+var timingFields = regexp.MustCompile(`"(saturateNanos|refineNanos)":\s*\d+`)
+
+func scrubTimings(b []byte) []byte {
+	return timingFields.ReplaceAll(b, []byte(`"$1":0`))
+}
+
+// corpus loads every .spec file in the repo corpus.
+func corpus(t *testing.T) ([]string, []string) {
+	t.Helper()
+	dir := filepath.Join(moduleRoot(t), "specs")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names, specs []string
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".spec") {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		names = append(names, e.Name())
+		specs = append(specs, string(b))
+	}
+	if len(specs) == 0 {
+		t.Fatal("empty spec corpus")
+	}
+	return names, specs
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Dir(filepath.Dir(wd)) // cmd/pgd -> repo root
+}

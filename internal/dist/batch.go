@@ -1,0 +1,173 @@
+package dist
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/service"
+)
+
+// BatchRequest is the body of POST /v1/batch: many specs, one operation,
+// one shared option set. The whole fault matrix over a corpus is one batch.
+type BatchRequest struct {
+	// Op is "derive", "verify" or "explore" ("" = "verify").
+	Op string `json:"op,omitempty"`
+	// Specs are the specification sources, fanned out shard-wise.
+	Specs []string `json:"specs"`
+	// Options is the per-op option object, applied to every spec: the
+	// derive/verify options object, or the explore bounds (obsDepth,
+	// maxStates, traces) spliced into each request.
+	Options json.RawMessage `json:"options,omitempty"`
+}
+
+// BatchItem is one streamed result line of a batch response: the index of
+// the spec it answers, the worker that computed it, and the worker's
+// response relayed verbatim (Body is exactly the bytes a single-spec
+// request would have returned; Status its HTTP status).
+type BatchItem struct {
+	Index  int             `json:"index"`
+	Worker string          `json:"worker,omitempty"`
+	Status int             `json:"status"`
+	Body   json.RawMessage `json:"body"`
+}
+
+// BatchSummary is the final line of a batch response.
+type BatchSummary struct {
+	Done      bool    `json:"done"`
+	Total     int     `json:"total"`
+	OK        int     `json:"ok"`
+	Failed    int     `json:"failed"`
+	ElapsedMS float64 `json:"elapsedMs"`
+}
+
+// handleBatch fans a list of specs out to their owning workers and streams
+// each result back the moment it completes, as newline-delimited JSON: one
+// BatchItem line per spec in completion order, then one BatchSummary line.
+// Items never wait on each other — a slow verification does not dam the
+// stream — and a failed item (bad spec, dead shard) is a line like any
+// other, so one poison spec cannot kill the batch.
+func (c *Coordinator) handleBatch(w http.ResponseWriter, r *http.Request) int {
+	r.Body = http.MaxBytesReader(w, r.Body, c.cfg.MaxBatchBytes)
+	var req BatchRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		status := http.StatusBadRequest
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		return writeJSON(w, status, service.ErrorResponse{Error: fmt.Sprintf("bad batch body: %v", err)})
+	}
+	if req.Op == "" {
+		req.Op = "verify"
+	}
+	if req.Op != "derive" && req.Op != "verify" && req.Op != "explore" {
+		return writeJSON(w, http.StatusBadRequest,
+			service.ErrorResponse{Error: fmt.Sprintf("unknown batch op %q (derive, verify, explore)", req.Op)})
+	}
+	if len(req.Specs) == 0 {
+		return writeJSON(w, http.StatusBadRequest, service.ErrorResponse{Error: "batch needs at least one spec"})
+	}
+	if len(req.Specs) > c.cfg.MaxBatchItems {
+		return writeJSON(w, http.StatusBadRequest,
+			service.ErrorResponse{Error: fmt.Sprintf("batch of %d specs exceeds the %d-item cap", len(req.Specs), c.cfg.MaxBatchItems)})
+	}
+	fl, canFlush := w.(http.Flusher)
+	if !canFlush {
+		return writeJSON(w, http.StatusInternalServerError, service.ErrorResponse{Error: "streaming unsupported by connection"})
+	}
+	c.count(func(s *CoordStats) { s.Batches++; s.BatchItems += uint64(len(req.Specs)) })
+
+	bodies := make([][]byte, len(req.Specs))
+	for i, spec := range req.Specs {
+		body, err := itemBody(req.Op, spec, req.Options)
+		if err != nil {
+			return writeJSON(w, http.StatusBadRequest,
+				service.ErrorResponse{Error: fmt.Sprintf("batch options: %v", err)})
+		}
+		bodies[i] = body
+	}
+
+	start := time.Now()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	results := make(chan BatchItem)
+	sem := make(chan struct{}, c.cfg.BatchConcurrency)
+	for i := range req.Specs {
+		go func(i int) {
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			res, err := c.forward(r.Context(), http.MethodPost, "/v1/"+req.Op, SpecKey(req.Specs[i]), bodies[i])
+			item := BatchItem{Index: i}
+			if err != nil {
+				msg, _ := json.Marshal(service.ErrorResponse{Error: err.Error()})
+				item.Status = http.StatusServiceUnavailable
+				item.Body = msg
+			} else {
+				item.Worker = res.worker
+				item.Status = res.status
+				item.Body = res.body
+			}
+			results <- item
+		}(i)
+	}
+
+	summary := BatchSummary{Total: len(req.Specs)}
+	enc := json.NewEncoder(w) // no indent: one line per item
+	for done := 0; done < len(req.Specs); done++ {
+		item := <-results
+		if item.Status == http.StatusOK {
+			summary.OK++
+		} else {
+			summary.Failed++
+		}
+		if err := enc.Encode(item); err != nil {
+			// Client hung up: drain the remaining workers' results so the
+			// goroutines exit, then stop.
+			for done++; done < len(req.Specs); done++ {
+				<-results
+			}
+			return http.StatusOK
+		}
+		fl.Flush()
+	}
+	summary.Done = true
+	summary.ElapsedMS = float64(time.Since(start).Nanoseconds()) / 1e6
+	enc.Encode(summary) //nolint:errcheck
+	fl.Flush()
+	return http.StatusOK
+}
+
+// itemBody builds the single-spec request body of one batch item. Derive
+// and verify nest the options object; explore takes its bounds inline.
+func itemBody(op, spec string, options json.RawMessage) ([]byte, error) {
+	m := map[string]any{"spec": spec}
+	if len(options) > 0 {
+		switch op {
+		case "explore":
+			var inline map[string]any
+			if err := json.Unmarshal(options, &inline); err != nil {
+				return nil, err
+			}
+			for k, v := range inline {
+				if k == "spec" {
+					continue
+				}
+				m[k] = v
+			}
+		default:
+			var keep json.RawMessage
+			if err := json.Unmarshal(options, &keep); err != nil {
+				return nil, err
+			}
+			m["options"] = keep
+		}
+	}
+	return json.Marshal(m)
+}

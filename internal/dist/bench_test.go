@@ -1,0 +1,180 @@
+package dist
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// The fleet benchmarks are the BENCH_PR7.json lane. Two regimes:
+//
+//   - DeriveCold*: real CPU-bound cold derivations. On a single box the
+//     whole fleet shares the same cores, so this lane measures coordinator
+//     OVERHEAD (routing, relaying, HTTP hop), not scaling — fleet req/s
+//     should track the direct number, a little below it.
+//
+//   - Capacity*: each worker process models a machine with a fixed
+//     service-time floor (a 2ms PreCompute stall, one derive slot per
+//     process, mirroring one saturated core elsewhere). Here the fleet's
+//     req/s MUST scale with worker count — this is the ≥3×-at-4-workers
+//     acceptance lane, honest on a single-core CI box because stalls sleep
+//     rather than burn CPU.
+//
+// Regenerate with `make bench-dist-record`.
+
+const capacityFloor = 2 * time.Millisecond
+
+// benchCounter hands out globally distinct spec indexes so every request
+// in a cold benchmark misses the cache.
+var benchCounter atomic.Int64
+
+func coldSpec() string { return distinctSpec(int(benchCounter.Add(1))) }
+
+func benchDrain(b *testing.B, resp *http.Response) {
+	b.Helper()
+	var sink json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&sink); err != nil {
+		b.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+// latencyLanes drives url with concurrent clients posting cold derive
+// requests and reports req/s plus client-observed latency percentiles.
+func latencyLanes(b *testing.B, url string, lanes int) {
+	var mu sync.Mutex
+	var lat []time.Duration
+	b.SetParallelism(lanes)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		client := &http.Client{}
+		var local []time.Duration
+		for pb.Next() {
+			body, _ := json.Marshal(service.DeriveRequest{Spec: coldSpec()})
+			t0 := time.Now()
+			resp, err := client.Post(url+"/v1/derive", "application/json", bytes.NewReader(body))
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			benchDrain(b, resp)
+			local = append(local, time.Since(t0))
+		}
+		mu.Lock()
+		lat = append(lat, local...)
+		mu.Unlock()
+	})
+	b.StopTimer()
+	if len(lat) == 0 {
+		return
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pct := func(q float64) float64 {
+		i := int(q * float64(len(lat)))
+		if i >= len(lat) {
+			i = len(lat) - 1
+		}
+		return float64(lat[i].Nanoseconds()) / 1e6
+	}
+	b.ReportMetric(float64(len(lat))/b.Elapsed().Seconds(), "req/s")
+	b.ReportMetric(pct(0.50), "p50-ms")
+	b.ReportMetric(pct(0.95), "p95-ms")
+	b.ReportMetric(pct(0.99), "p99-ms")
+}
+
+// BenchmarkDirectDeriveCold is the single-process baseline: distinct spec
+// per request straight into one server, no coordinator.
+func BenchmarkDirectDeriveCold(b *testing.B) {
+	ts := httptest.NewServer(service.New(service.Config{CacheEntries: 1 << 20}))
+	defer ts.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchDrain(b, post(b, ts.URL+"/v1/derive", service.DeriveRequest{Spec: coldSpec()}))
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}
+
+// BenchmarkFleetDeriveCold4 sends the same cold traffic through a
+// coordinator over 4 workers: the delta against DirectDeriveCold is the
+// routing + relay overhead per request.
+func BenchmarkFleetDeriveCold4(b *testing.B) {
+	f := newFleet(b, 4, service.Config{CacheEntries: 1 << 20}, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchDrain(b, post(b, f.ts.URL+"/v1/derive", service.DeriveRequest{Spec: coldSpec()}))
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}
+
+// capacityConfig models one machine: a single derive slot with a fixed
+// service-time floor per cold computation.
+func capacityConfig() service.Config {
+	return service.Config{
+		CacheEntries:  1 << 20,
+		DeriveWorkers: 1,
+		VerifyWorkers: 1,
+		PreCompute:    func(kind, key string) { time.Sleep(capacityFloor) },
+	}
+}
+
+// BenchmarkCapacityDirect1: 32 clients against one capacity-bounded
+// process. Throughput is pinned near 1/floor ≈ 500 req/s.
+func BenchmarkCapacityDirect1(b *testing.B) {
+	ts := httptest.NewServer(service.New(capacityConfig()))
+	defer ts.Close()
+	latencyLanes(b, ts.URL, 32)
+}
+
+// BenchmarkCapacityFleet4: the same 32 clients against a 4-worker fleet of
+// capacity-bounded processes. The acceptance bar is ≥3× CapacityDirect1.
+func BenchmarkCapacityFleet4(b *testing.B) {
+	f := newFleet(b, 4, capacityConfig(), nil)
+	latencyLanes(b, f.ts.URL, 32)
+}
+
+// BenchmarkFleetBatch64 streams one 64-spec cold batch per iteration
+// through a 4-worker fleet and reports specs/s.
+func BenchmarkFleetBatch64(b *testing.B) {
+	const batch = 64
+	f := newFleet(b, 4, service.Config{CacheEntries: 1 << 20}, func(c *Config) {
+		c.BatchConcurrency = 32
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		specs := make([]string, batch)
+		for j := range specs {
+			specs[j] = coldSpec()
+		}
+		body, _ := json.Marshal(BatchRequest{Op: "derive", Specs: specs})
+		resp, err := http.Post(f.ts.URL+"/v1/batch", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+		lines := 0
+		for sc.Scan() {
+			lines++
+		}
+		resp.Body.Close()
+		if lines != batch+1 {
+			b.Fatalf("batch stream had %d lines, want %d", lines, batch+1)
+		}
+	}
+	b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "spec/s")
+}

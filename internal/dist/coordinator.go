@@ -1,0 +1,615 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	protoderive "repro"
+	"repro/internal/service"
+)
+
+// WorkerInfo names one worker of the fleet.
+type WorkerInfo struct {
+	// Name is the worker's ring identity and the prefix of the job ids the
+	// coordinator hands out for it ("w0", "w1", ...).
+	Name string `json:"name"`
+	// URL is the worker's base URL ("http://127.0.0.1:8081").
+	URL string `json:"url"`
+}
+
+// Config tunes a Coordinator. Workers is required; everything else has
+// production defaults.
+type Config struct {
+	// Workers is the fleet (at least one).
+	Workers []WorkerInfo
+	// Replicas is the ring positions per worker (0 = DefaultReplicas).
+	Replicas int
+	// Retries is how many *additional* workers an attempt fails over to
+	// after a transport error on the owner (0 = 2; negative = none). Only
+	// transport failures fail over — an HTTP response, whatever its
+	// status, is the worker's deterministic answer and is relayed as is.
+	Retries int
+	// ForwardTimeout bounds one forwarded attempt end to end (0 = 60s).
+	ForwardTimeout time.Duration
+	// HealthInterval is the liveness-probe period (0 = 2s; negative
+	// disables the prober — tests drive health transitions manually).
+	HealthInterval time.Duration
+	// HealthTimeout bounds one probe (0 = 1s).
+	HealthTimeout time.Duration
+	// FailThreshold is how many consecutive failures (probes or forwards)
+	// mark a worker unhealthy and drop it from the ring (0 = 3).
+	FailThreshold int
+	// MaxBodyBytes caps single-spec request bodies (0 = 1 MiB).
+	MaxBodyBytes int64
+	// MaxBatchBytes caps /v1/batch request bodies (0 = 32 MiB).
+	MaxBatchBytes int64
+	// MaxBatchItems caps the specs per batch (0 = 4096).
+	MaxBatchItems int
+	// BatchConcurrency bounds in-flight forwarded batch items
+	// (0 = 4 × workers).
+	BatchConcurrency int
+	// Client overrides the forwarding HTTP client (tests). The default
+	// client pools connections per worker and applies no global timeout —
+	// per-attempt contexts bound each call.
+	Client *http.Client
+}
+
+func (c Config) withDefaults() Config {
+	if c.Retries == 0 {
+		c.Retries = 2
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
+	}
+	if c.ForwardTimeout <= 0 {
+		c.ForwardTimeout = 60 * time.Second
+	}
+	if c.HealthInterval == 0 {
+		c.HealthInterval = 2 * time.Second
+	}
+	if c.HealthTimeout <= 0 {
+		c.HealthTimeout = time.Second
+	}
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = 3
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.MaxBatchBytes <= 0 {
+		c.MaxBatchBytes = 32 << 20
+	}
+	if c.MaxBatchItems <= 0 {
+		c.MaxBatchItems = 4096
+	}
+	if c.BatchConcurrency <= 0 {
+		c.BatchConcurrency = 4 * len(c.Workers)
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Transport: &http.Transport{
+			MaxIdleConnsPerHost: 64,
+			IdleConnTimeout:     90 * time.Second,
+		}}
+	}
+	return c
+}
+
+// worker is the coordinator's live state for one fleet member.
+type worker struct {
+	info WorkerInfo
+
+	mu        sync.Mutex
+	healthy   bool
+	fails     int // consecutive failures (probe or forward)
+	lastErr   string
+	lastProbe time.Time
+	forwards  uint64 // forwarded requests answered by this worker
+	errors    uint64 // transport failures talking to this worker
+}
+
+// CoordStats is the coordinator's own counter snapshot.
+type CoordStats struct {
+	// Forwards counts forwarded single-spec requests (batch items
+	// included); Retries counts extra attempts after a transport failure;
+	// Failovers counts requests ultimately answered by a non-owner.
+	Forwards  uint64 `json:"forwards"`
+	Retries   uint64 `json:"retries"`
+	Failovers uint64 `json:"failovers"`
+	// Unrouted counts requests rejected because no healthy worker was
+	// reachable.
+	Unrouted uint64 `json:"unrouted"`
+	// Batches and BatchItems count /v1/batch requests and their specs.
+	Batches    uint64 `json:"batches"`
+	BatchItems uint64 `json:"batchItems"`
+}
+
+// Coordinator is the fleet front end. It implements http.Handler with the
+// same compute surface as a single worker plus /v1/batch, and shuts its
+// health prober down via Close.
+type Coordinator struct {
+	cfg     Config
+	ring    *Ring
+	workers map[string]*worker
+	order   []string // Workers order, for stable display
+	mux     *http.ServeMux
+	metrics *service.Metrics
+	start   time.Time
+
+	cmu   sync.Mutex
+	stats CoordStats
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// New builds a Coordinator over the configured fleet. Every worker starts
+// healthy (in the ring); the prober corrects that within an interval.
+func New(cfg Config) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Workers) == 0 {
+		return nil, errors.New("dist: a coordinator needs at least one worker")
+	}
+	c := &Coordinator{
+		cfg:     cfg,
+		ring:    NewRing(cfg.Replicas),
+		workers: map[string]*worker{},
+		mux:     http.NewServeMux(),
+		metrics: service.NewMetrics(),
+		start:   time.Now(),
+		stop:    make(chan struct{}),
+	}
+	for _, wi := range cfg.Workers {
+		if wi.Name == "" || wi.URL == "" {
+			return nil, fmt.Errorf("dist: worker needs name and URL, got %+v", wi)
+		}
+		if strings.Contains(wi.Name, ".") {
+			return nil, fmt.Errorf("dist: worker name %q may not contain '.' (job-id separator)", wi.Name)
+		}
+		if _, dup := c.workers[wi.Name]; dup {
+			return nil, fmt.Errorf("dist: duplicate worker name %q", wi.Name)
+		}
+		c.workers[wi.Name] = &worker{info: wi, healthy: true}
+		c.order = append(c.order, wi.Name)
+		c.ring.Add(wi.Name)
+	}
+	c.mux.HandleFunc("POST /v1/derive", c.instrument("derive", c.handleForward))
+	c.mux.HandleFunc("POST /v1/verify", c.instrument("verify", c.handleForward))
+	c.mux.HandleFunc("POST /v1/explore", c.instrument("explore", c.handleForward))
+	c.mux.HandleFunc("POST /v1/batch", c.instrument("batch", c.handleBatch))
+	c.mux.HandleFunc("GET /v1/jobs/{id}", c.instrument("jobs", c.handleJob))
+	c.mux.HandleFunc("GET /v1/jobs/{id}/events", c.instrument("jobEvents", c.handleJobEvents))
+	c.mux.HandleFunc("GET /healthz", c.instrument("healthz", c.handleHealthz))
+	c.mux.HandleFunc("GET /metrics", c.instrument("metrics", c.handleMetrics))
+	if cfg.HealthInterval > 0 {
+		c.wg.Add(1)
+		go c.healthLoop()
+	}
+	return c, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) { c.mux.ServeHTTP(w, r) }
+
+// Close stops the health prober. Forwarding keeps working (useful in
+// tests); a closed coordinator simply stops adjusting ring membership.
+func (c *Coordinator) Close() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	c.wg.Wait()
+}
+
+// Stats snapshots the coordinator counters.
+func (c *Coordinator) Stats() CoordStats {
+	c.cmu.Lock()
+	defer c.cmu.Unlock()
+	return c.stats
+}
+
+// Ring exposes the ring (tests and the metrics page).
+func (c *Coordinator) Ring() *Ring { return c.ring }
+
+func (c *Coordinator) instrument(name string, h func(http.ResponseWriter, *http.Request) int) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		done := c.metrics.Begin(name)
+		status := h(w, r)
+		done(status >= 400)
+	}
+}
+
+func (c *Coordinator) count(f func(*CoordStats)) {
+	c.cmu.Lock()
+	f(&c.stats)
+	c.cmu.Unlock()
+}
+
+// --- shard keys --------------------------------------------------------------
+
+// SpecKey computes a spec's shard key: the hex SHA-256 of its normalized
+// (parsed and pretty-printed) source, so whitespace and comment variants of
+// one spec route to one worker — the same canonicalization the workers'
+// content-addressed caches use. Sources that do not parse hash verbatim:
+// the owning worker rejects them with the same error a single process
+// would, and textually identical garbage still routes stably.
+func SpecKey(spec string) string {
+	normalized, err := protoderive.NormalizeSource(spec)
+	if err != nil {
+		normalized = spec
+	}
+	sum := sha256.Sum256([]byte(normalized))
+	return hex.EncodeToString(sum[:])
+}
+
+// --- forwarding --------------------------------------------------------------
+
+// errNoWorkers reports an empty (or fully failed) routing sequence.
+var errNoWorkers = errors.New("dist: no healthy worker reachable")
+
+// forwardResult is one relayed worker response, fully buffered.
+type forwardResult struct {
+	worker      string
+	status      int
+	contentType string
+	body        []byte
+}
+
+// forward routes one request body to the key's owner, failing over through
+// the ring sequence on transport errors. HTTP responses — success or error
+// — are the worker's answer and end the attempt loop.
+func (c *Coordinator) forward(ctx context.Context, method, pathAndQuery, key string, body []byte) (forwardResult, error) {
+	seq := c.ring.Sequence(key, 1+c.cfg.Retries)
+	if len(seq) == 0 {
+		c.count(func(s *CoordStats) { s.Unrouted++ })
+		return forwardResult{}, errNoWorkers
+	}
+	var lastErr error
+	for i, name := range seq {
+		wk := c.workers[name]
+		if i > 0 {
+			c.count(func(s *CoordStats) { s.Retries++ })
+		}
+		res, err := c.attempt(ctx, wk, method, pathAndQuery, body)
+		if err != nil {
+			lastErr = err
+			wk.recordFailure(c, err)
+			if ctx.Err() != nil {
+				break // the client is gone; stop burning workers
+			}
+			continue
+		}
+		wk.recordSuccess(c)
+		c.count(func(s *CoordStats) {
+			s.Forwards++
+			if i > 0 {
+				s.Failovers++
+			}
+		})
+		return res, nil
+	}
+	c.count(func(s *CoordStats) { s.Unrouted++ })
+	return forwardResult{}, fmt.Errorf("%w (tried %v): %v", errNoWorkers, seq, lastErr)
+}
+
+// attempt performs one bounded HTTP call to one worker.
+func (c *Coordinator) attempt(ctx context.Context, wk *worker, method, pathAndQuery string, body []byte) (forwardResult, error) {
+	actx, cancel := context.WithTimeout(ctx, c.cfg.ForwardTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, method, wk.info.URL+pathAndQuery, bytes.NewReader(body))
+	if err != nil {
+		return forwardResult{}, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.cfg.Client.Do(req)
+	if err != nil {
+		return forwardResult{}, err
+	}
+	defer resp.Body.Close()
+	buf, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return forwardResult{}, err
+	}
+	return forwardResult{
+		worker:      wk.info.Name,
+		status:      resp.StatusCode,
+		contentType: resp.Header.Get("Content-Type"),
+		body:        buf,
+	}, nil
+}
+
+// relay writes a buffered worker response back to the client, byte for
+// byte, tagged with the answering worker.
+func relay(w http.ResponseWriter, res forwardResult) int {
+	if res.contentType != "" {
+		w.Header().Set("Content-Type", res.contentType)
+	}
+	w.Header().Set("X-Pgd-Worker", res.worker)
+	w.WriteHeader(res.status)
+	w.Write(res.body) //nolint:errcheck // late write failures are the client's problem
+	return res.status
+}
+
+// writeJSON mirrors the workers' response encoding (two-space indent) so
+// coordinator-origin bodies look like worker bodies.
+func writeJSON(w http.ResponseWriter, status int, body any) int {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(body) //nolint:errcheck
+	return status
+}
+
+func writeForwardError(w http.ResponseWriter, err error) int {
+	status := http.StatusBadGateway
+	if errors.Is(err, errNoWorkers) {
+		status = http.StatusServiceUnavailable
+	}
+	return writeJSON(w, status, service.ErrorResponse{Error: err.Error()})
+}
+
+// --- handlers ----------------------------------------------------------------
+
+// handleForward proxies one compute request (derive/verify/explore) to the
+// owning worker. Only the "spec" field is examined — for the shard key —
+// and the original body is forwarded untouched, so worker responses stay
+// byte-identical to the single-process daemon's.
+func (c *Coordinator) handleForward(w http.ResponseWriter, r *http.Request) int {
+	r.Body = http.MaxBytesReader(w, r.Body, c.cfg.MaxBodyBytes)
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return writeJSON(w, http.StatusRequestEntityTooLarge, service.ErrorResponse{Error: err.Error()})
+		}
+		return writeJSON(w, http.StatusBadRequest, service.ErrorResponse{Error: err.Error()})
+	}
+	var peek struct {
+		Spec string `json:"spec"`
+	}
+	if err := json.Unmarshal(body, &peek); err != nil {
+		return writeJSON(w, http.StatusBadRequest,
+			service.ErrorResponse{Error: fmt.Sprintf("bad request body: %v", err)})
+	}
+	pathAndQuery := r.URL.Path
+	async := false
+	if q := r.URL.RawQuery; q != "" {
+		pathAndQuery += "?" + q
+		a := r.URL.Query().Get("async")
+		async = a == "1" || a == "true"
+	}
+	res, err := c.forward(r.Context(), http.MethodPost, pathAndQuery, SpecKey(peek.Spec), body)
+	if err != nil {
+		return writeForwardError(w, err)
+	}
+	if async && res.status == http.StatusAccepted {
+		return c.relayJobAccepted(w, res)
+	}
+	return relay(w, res)
+}
+
+// relayJobAccepted rewrites an async-accept body so the job id carries its
+// worker's name ("w1.8c6a01b2...") — GET /v1/jobs/{id} then routes without
+// any job table on the coordinator.
+func (c *Coordinator) relayJobAccepted(w http.ResponseWriter, res forwardResult) int {
+	var acc service.JobAccepted
+	if err := json.Unmarshal(res.body, &acc); err != nil || acc.JobID == "" {
+		return relay(w, res) // unexpected shape; pass through
+	}
+	acc.JobID = res.worker + "." + acc.JobID
+	acc.Poll = "/v1/jobs/" + acc.JobID
+	w.Header().Set("X-Pgd-Worker", res.worker)
+	return writeJSON(w, res.status, acc)
+}
+
+// splitJobID resolves a coordinator job id back to (worker, raw id).
+func (c *Coordinator) splitJobID(id string) (*worker, string, bool) {
+	name, raw, ok := strings.Cut(id, ".")
+	if !ok || raw == "" {
+		return nil, "", false
+	}
+	wk := c.workers[name]
+	if wk == nil {
+		return nil, "", false
+	}
+	return wk, raw, true
+}
+
+func (c *Coordinator) handleJob(w http.ResponseWriter, r *http.Request) int {
+	id := r.PathValue("id")
+	wk, raw, ok := c.splitJobID(id)
+	if !ok {
+		return writeJSON(w, http.StatusNotFound, service.ErrorResponse{Error: "no such job (expired or never created)"})
+	}
+	res, err := c.attempt(r.Context(), wk, http.MethodGet, "/v1/jobs/"+raw, nil)
+	if err != nil {
+		wk.recordFailure(c, err)
+		return writeForwardError(w, err)
+	}
+	wk.recordSuccess(c)
+	if res.status != http.StatusOK {
+		return relay(w, res)
+	}
+	// Re-address the job so the id the client polls is the id it sees.
+	var job service.Job
+	if err := json.Unmarshal(res.body, &job); err != nil {
+		return relay(w, res)
+	}
+	job.ID = id
+	w.Header().Set("X-Pgd-Worker", res.worker)
+	return writeJSON(w, res.status, job)
+}
+
+// handleJobEvents pipes a worker's SSE progress stream through to the
+// client, flushing every chunk: events arrive the moment the worker emits
+// them, for the whole life of the job.
+func (c *Coordinator) handleJobEvents(w http.ResponseWriter, r *http.Request) int {
+	wk, raw, ok := c.splitJobID(r.PathValue("id"))
+	if !ok {
+		return writeJSON(w, http.StatusNotFound, service.ErrorResponse{Error: "no such job (expired or never created)"})
+	}
+	fl, canFlush := w.(http.Flusher)
+	if !canFlush {
+		return writeJSON(w, http.StatusInternalServerError, service.ErrorResponse{Error: "streaming unsupported by connection"})
+	}
+	// No ForwardTimeout here: the stream lives as long as the job (or the
+	// client). The request context still cancels it on disconnect.
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, wk.info.URL+"/v1/jobs/"+raw+"/events", nil)
+	if err != nil {
+		return writeForwardError(w, err)
+	}
+	resp, err := c.cfg.Client.Do(req)
+	if err != nil {
+		wk.recordFailure(c, err)
+		return writeForwardError(w, err)
+	}
+	defer resp.Body.Close()
+	wk.recordSuccess(c)
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.Header().Set("X-Pgd-Worker", wk.info.Name)
+	w.WriteHeader(resp.StatusCode)
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return resp.StatusCode
+			}
+			fl.Flush()
+		}
+		if err != nil {
+			return resp.StatusCode
+		}
+	}
+}
+
+// WorkerHealth is one worker's row of the coordinator health/metrics pages.
+type WorkerHealth struct {
+	Name             string `json:"name"`
+	URL              string `json:"url"`
+	Healthy          bool   `json:"healthy"`
+	ConsecutiveFails int    `json:"consecutiveFails"`
+	LastError        string `json:"lastError,omitempty"`
+	Forwards         uint64 `json:"forwards"`
+	TransportErrors  uint64 `json:"transportErrors"`
+}
+
+func (wk *worker) health() WorkerHealth {
+	wk.mu.Lock()
+	defer wk.mu.Unlock()
+	return WorkerHealth{
+		Name:             wk.info.Name,
+		URL:              wk.info.URL,
+		Healthy:          wk.healthy,
+		ConsecutiveFails: wk.fails,
+		LastError:        wk.lastErr,
+		Forwards:         wk.forwards,
+		TransportErrors:  wk.errors,
+	}
+}
+
+// FleetHealth is the body of the coordinator's GET /healthz.
+type FleetHealth struct {
+	// Status is "ok" with a full ring, "degraded" with a partial one, and
+	// "down" when no worker is in the ring.
+	Status        string         `json:"status"`
+	Version       string         `json:"version"`
+	UptimeSeconds float64        `json:"uptimeSeconds"`
+	RingMembers   int            `json:"ringMembers"`
+	Workers       []WorkerHealth `json:"workers"`
+}
+
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, _ *http.Request) int {
+	page := FleetHealth{
+		Version:       protoderive.Version,
+		UptimeSeconds: time.Since(c.start).Seconds(),
+		RingMembers:   c.ring.Len(),
+	}
+	for _, name := range c.order {
+		page.Workers = append(page.Workers, c.workers[name].health())
+	}
+	switch {
+	case page.RingMembers == len(c.order):
+		page.Status = "ok"
+	case page.RingMembers > 0:
+		page.Status = "degraded"
+	default:
+		page.Status = "down"
+	}
+	status := http.StatusOK
+	if page.Status == "down" {
+		status = http.StatusServiceUnavailable
+	}
+	return writeJSON(w, status, page)
+}
+
+// WorkerMetrics is one worker's row of the coordinator metrics page: its
+// health plus the runtime gauges and cache counters scraped from the
+// worker's own /metrics (absent when the scrape fails).
+type WorkerMetrics struct {
+	WorkerHealth
+	Runtime *service.RuntimeStats `json:"runtime,omitempty"`
+	Cache   *service.CacheStats   `json:"cache,omitempty"`
+}
+
+// FleetMetricsPage is the body of the coordinator's GET /metrics.
+type FleetMetricsPage struct {
+	service.MetricsSnapshot
+	Coordinator CoordStats           `json:"coordinator"`
+	Runtime     service.RuntimeStats `json:"runtime"`
+	Workers     []WorkerMetrics      `json:"workers"`
+}
+
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) int {
+	page := FleetMetricsPage{
+		MetricsSnapshot: c.metrics.Snapshot(),
+		Coordinator:     c.Stats(),
+		Runtime:         service.ReadRuntimeStats(),
+	}
+	// Scrape each worker's gauges in parallel, bounded by the probe
+	// timeout: a dead worker costs one timeout, not the page.
+	rows := make([]WorkerMetrics, len(c.order))
+	var wg sync.WaitGroup
+	for i, name := range c.order {
+		wk := c.workers[name]
+		rows[i] = WorkerMetrics{WorkerHealth: wk.health()}
+		if !rows[i].Healthy {
+			continue
+		}
+		wg.Add(1)
+		go func(row *WorkerMetrics) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(r.Context(), c.cfg.HealthTimeout)
+			defer cancel()
+			res, err := c.attempt(ctx, wk, http.MethodGet, "/metrics", nil)
+			if err != nil || res.status != http.StatusOK {
+				return
+			}
+			var page struct {
+				Runtime service.RuntimeStats `json:"runtime"`
+				Cache   service.CacheStats   `json:"cache"`
+			}
+			if json.Unmarshal(res.body, &page) == nil {
+				row.Runtime = &page.Runtime
+				row.Cache = &page.Cache
+			}
+		}(&rows[i])
+	}
+	wg.Wait()
+	page.Workers = rows
+	return writeJSON(w, http.StatusOK, page)
+}

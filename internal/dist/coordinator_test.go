@@ -1,0 +1,598 @@
+package dist
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// fleet is an in-process coordinator over httptest workers: real HTTP on
+// every hop, no separate processes.
+type fleet struct {
+	coord   *Coordinator
+	ts      *httptest.Server   // coordinator front end
+	servers []*service.Server  // worker internals (cache stats)
+	workers []*httptest.Server // worker listeners
+}
+
+func newFleet(t testing.TB, n int, svcCfg service.Config, mutate func(*Config)) *fleet {
+	t.Helper()
+	f := &fleet{}
+	cfg := Config{HealthInterval: -1} // no prober unless a test asks
+	for i := 0; i < n; i++ {
+		s := service.New(svcCfg)
+		ts := httptest.NewServer(s)
+		t.Cleanup(ts.Close)
+		f.servers = append(f.servers, s)
+		f.workers = append(f.workers, ts)
+		cfg.Workers = append(cfg.Workers, WorkerInfo{Name: fmt.Sprintf("w%d", i), URL: ts.URL})
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	coord, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(coord.Close)
+	f.coord = coord
+	f.ts = httptest.NewServer(coord)
+	t.Cleanup(f.ts.Close)
+	return f
+}
+
+func post(t testing.TB, url string, body any) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func readBody(t testing.TB, resp *http.Response) []byte {
+	t.Helper()
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func distinctSpec(i int) string {
+	name := "ev"
+	for v := i; ; v = v / 26 {
+		name += string(rune('a' + v%26))
+		if v < 26 {
+			break
+		}
+	}
+	return fmt.Sprintf("SPEC %s1; %s2; exit ENDSPEC", name, name)
+}
+
+// TestAffinityAndCrossNodeCache asserts content-addressed routing: every
+// repeat of a spec — including a whitespace variant — lands on the worker
+// that computed it first and is served from that worker's cache, and the
+// fleet as a whole computes each distinct spec exactly once.
+func TestAffinityAndCrossNodeCache(t *testing.T) {
+	const specs = 12
+	f := newFleet(t, 3, service.Config{}, nil)
+
+	owner := map[int]string{}
+	for i := 0; i < specs; i++ {
+		resp := post(t, f.ts.URL+"/v1/derive", service.DeriveRequest{Spec: distinctSpec(i)})
+		body := readBody(t, resp)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("spec %d status %d: %s", i, resp.StatusCode, body)
+		}
+		owner[i] = resp.Header.Get("X-Pgd-Worker")
+		if owner[i] == "" {
+			t.Fatalf("spec %d: no worker tag", i)
+		}
+		var out service.DeriveResponse
+		if err := json.Unmarshal(body, &out); err != nil || out.Cached {
+			t.Fatalf("spec %d: first request cached=%v err=%v", i, out.Cached, err)
+		}
+	}
+	// Repeats — exact text and a reformatted variant — hit the same worker
+	// and its cache.
+	for i := 0; i < specs; i++ {
+		for _, variant := range []string{
+			distinctSpec(i),
+			"  " + strings.ReplaceAll(distinctSpec(i), "; ", " ;\n\t") + "\n",
+		} {
+			resp := post(t, f.ts.URL+"/v1/derive", service.DeriveRequest{Spec: variant})
+			body := readBody(t, resp)
+			if got := resp.Header.Get("X-Pgd-Worker"); got != owner[i] {
+				t.Errorf("spec %d variant routed to %s, first request went to %s", i, got, owner[i])
+			}
+			var out service.DeriveResponse
+			if err := json.Unmarshal(body, &out); err != nil || !out.Cached {
+				t.Errorf("spec %d variant: cached=%v err=%v (cross-request cache miss)", i, out.Cached, err)
+			}
+		}
+	}
+	var misses uint64
+	usedWorkers := map[string]bool{}
+	for i, s := range f.servers {
+		st := s.CacheStats()
+		misses += st.Misses
+		if st.Misses > 0 {
+			usedWorkers[fmt.Sprintf("w%d", i)] = true
+		}
+	}
+	if misses != specs {
+		t.Errorf("fleet computed %d derivations for %d distinct specs", misses, specs)
+	}
+	if len(usedWorkers) < 2 {
+		t.Errorf("all specs landed on %v: ring not spreading", usedWorkers)
+	}
+}
+
+// TestFailoverDeterministic kills a worker and asserts its keys fail over
+// to the exact successor the ring predicts, that the coordinator fails the
+// dead worker out of the ring after the threshold, and that service never
+// returns an error to the client.
+func TestFailoverDeterministic(t *testing.T) {
+	f := newFleet(t, 3, service.Config{}, func(c *Config) { c.FailThreshold = 3 })
+
+	// Find a spec owned by w1 and its predicted failover target.
+	victim := "w1"
+	var spec, backup string
+	for i := 0; ; i++ {
+		s := distinctSpec(i)
+		seq := f.coord.ring.Sequence(SpecKey(s), 2)
+		if seq[0] == victim {
+			spec, backup = s, seq[1]
+			break
+		}
+	}
+	var victimIdx int
+	fmt.Sscanf(victim, "w%d", &victimIdx)
+	f.workers[victimIdx].Close()
+
+	for i := 0; i < 4; i++ {
+		resp := post(t, f.ts.URL+"/v1/verify", service.VerifyRequest{
+			Spec: spec, Options: service.VerifyRequestOptions{ObsDepth: 4},
+		})
+		body := readBody(t, resp)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("post %d status %d: %s", i, resp.StatusCode, body)
+		}
+		if got := resp.Header.Get("X-Pgd-Worker"); got != backup {
+			t.Fatalf("post %d answered by %s, want deterministic successor %s", i, got, backup)
+		}
+	}
+	if members := f.coord.ring.Members(); len(members) != 2 {
+		t.Errorf("ring members after threshold failures = %v, want victim dropped", members)
+	}
+	st := f.coord.Stats()
+	if st.Retries == 0 || st.Failovers == 0 {
+		t.Errorf("stats = %+v, want retries and failovers recorded", st)
+	}
+	// With the victim out of the ring, its old keys now route straight to
+	// the successor — no more retry cost.
+	before := f.coord.Stats().Retries
+	readBody(t, post(t, f.ts.URL+"/v1/verify", service.VerifyRequest{
+		Spec: spec, Options: service.VerifyRequestOptions{ObsDepth: 4},
+	}))
+	if after := f.coord.Stats().Retries; after != before {
+		t.Errorf("retries grew %d -> %d after the ring healed", before, after)
+	}
+}
+
+// TestAllWorkersDown asserts a fleet with no reachable worker answers 503.
+func TestAllWorkersDown(t *testing.T) {
+	f := newFleet(t, 1, service.Config{}, func(c *Config) { c.FailThreshold = 1 })
+	f.workers[0].Close()
+	for i, want := range []int{http.StatusServiceUnavailable, http.StatusServiceUnavailable} {
+		resp := post(t, f.ts.URL+"/v1/derive", service.DeriveRequest{Spec: distinctSpec(0)})
+		readBody(t, resp)
+		if resp.StatusCode != want {
+			t.Errorf("post %d status %d, want %d", i, resp.StatusCode, want)
+		}
+	}
+	if n := f.coord.ring.Len(); n != 0 {
+		t.Errorf("ring still has %d members", n)
+	}
+	if st := f.coord.Stats(); st.Unrouted == 0 {
+		t.Errorf("stats = %+v, want unrouted counted", st)
+	}
+}
+
+// TestProberRecovery drives a worker through down and back up via a
+// toggleable healthz and asserts ring membership follows.
+func TestProberRecovery(t *testing.T) {
+	var down atomic.Bool
+	inner := service.New(service.Config{})
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if down.Load() {
+			http.Error(w, "synthetic outage", http.StatusInternalServerError)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer flaky.Close()
+	stable := httptest.NewServer(service.New(service.Config{}))
+	defer stable.Close()
+
+	coord, err := New(Config{
+		Workers: []WorkerInfo{
+			{Name: "flaky", URL: flaky.URL},
+			{Name: "stable", URL: stable.URL},
+		},
+		HealthInterval: 5 * time.Millisecond,
+		FailThreshold:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	waitMembers := func(want int) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for coord.ring.Len() != want {
+			if time.Now().After(deadline) {
+				t.Fatalf("ring stuck at %v, want %d members", coord.ring.Members(), want)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitMembers(2)
+	down.Store(true)
+	waitMembers(1)
+	if m := coord.ring.Members(); m[0] != "stable" {
+		t.Fatalf("survivor = %v", m)
+	}
+	down.Store(false)
+	waitMembers(2)
+}
+
+// TestBatchStreamsBeforeCompletion proves batch results stream as they
+// complete: one computation is parked on a worker while the client reads
+// every other verdict off the wire, then the parked one is released.
+func TestBatchStreamsBeforeCompletion(t *testing.T) {
+	const specs = 6
+	park := make(chan struct{})
+	var parked atomic.Bool
+	f := newFleet(t, 2, service.Config{
+		VerifyWorkers: 8, // the parked slot must not dam its worker's pool
+		DeriveWorkers: 8,
+		PreCompute: func(kind, key string) {
+			if parked.CompareAndSwap(false, true) {
+				<-park
+			}
+		},
+	}, nil)
+
+	var reqSpecs []string
+	for i := 0; i < specs; i++ {
+		reqSpecs = append(reqSpecs, distinctSpec(i))
+	}
+	body, _ := json.Marshal(BatchRequest{Op: "verify", Specs: reqSpecs,
+		Options: json.RawMessage(`{"obsDepth":4}`)})
+	resp, err := http.Post(f.ts.URL+"/v1/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	got := map[int]BatchItem{}
+	for len(got) < specs-1 {
+		if !sc.Scan() {
+			t.Fatalf("stream ended after %d items: %v", len(got), sc.Err())
+		}
+		var item BatchItem
+		if err := json.Unmarshal(sc.Bytes(), &item); err != nil {
+			t.Fatalf("bad line %q: %v", sc.Text(), err)
+		}
+		got[item.Index] = item
+	}
+	// Five verdicts crossed the wire while one computation is still
+	// parked: the stream does not wait for the batch.
+	close(park)
+	var summary *BatchSummary
+	for sc.Scan() {
+		line := sc.Bytes()
+		var s BatchSummary
+		if json.Unmarshal(line, &s) == nil && s.Total > 0 {
+			summary = &s
+			break
+		}
+		var item BatchItem
+		if err := json.Unmarshal(line, &item); err != nil {
+			t.Fatalf("bad line %q: %v", sc.Text(), err)
+		}
+		got[item.Index] = item
+	}
+	if summary == nil {
+		t.Fatalf("no summary line: %v", sc.Err())
+	}
+	if len(got) != specs || summary.OK != specs || summary.Failed != 0 || !summary.Done {
+		t.Fatalf("got %d items, summary %+v", len(got), summary)
+	}
+	for i, item := range got {
+		var out service.VerifyResponse
+		if err := json.Unmarshal(item.Body, &out); err != nil || !out.Ok {
+			t.Errorf("item %d: ok=%v err=%v", i, out.Ok, err)
+		}
+		if item.Worker == "" || item.Status != http.StatusOK {
+			t.Errorf("item %d: %+v", i, item)
+		}
+	}
+}
+
+// TestBatchPoisonSpec asserts a malformed spec yields a per-item error line
+// while the rest of the batch completes normally.
+func TestBatchPoisonSpec(t *testing.T) {
+	f := newFleet(t, 2, service.Config{}, nil)
+	body, _ := json.Marshal(BatchRequest{
+		Op:    "derive",
+		Specs: []string{distinctSpec(0), "THIS IS NOT LOTOS", distinctSpec(1)},
+	})
+	resp, err := http.Post(f.ts.URL+"/v1/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var items []BatchItem
+	var summary BatchSummary
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		var s BatchSummary
+		if json.Unmarshal(sc.Bytes(), &s) == nil && s.Total > 0 {
+			summary = s
+			continue
+		}
+		var item BatchItem
+		if err := json.Unmarshal(sc.Bytes(), &item); err != nil {
+			t.Fatalf("bad line %q", sc.Text())
+		}
+		items = append(items, item)
+	}
+	if summary.OK != 2 || summary.Failed != 1 || !summary.Done {
+		t.Errorf("summary = %+v", summary)
+	}
+	for _, item := range items {
+		if item.Index == 1 {
+			if item.Status != http.StatusBadRequest || !bytes.Contains(item.Body, []byte("error")) {
+				t.Errorf("poison item = %+v", item)
+			}
+		} else if item.Status != http.StatusOK {
+			t.Errorf("item %d failed: %+v", item.Index, item)
+		}
+	}
+}
+
+// TestBatchValidation covers the batch-level 400s.
+func TestBatchValidation(t *testing.T) {
+	f := newFleet(t, 1, service.Config{}, nil)
+	for _, tc := range []struct {
+		name string
+		body string
+	}{
+		{"empty specs", `{"op":"verify","specs":[]}`},
+		{"bad op", `{"op":"simulate","specs":["SPEC a1; b2; exit ENDSPEC"]}`},
+		{"bad json", `{"op":`},
+		{"unknown field", `{"op":"verify","specs":["x"],"bogus":1}`},
+	} {
+		resp, err := http.Post(f.ts.URL+"/v1/batch", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		readBody(t, resp)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, resp.StatusCode)
+		}
+	}
+}
+
+// TestJobsThroughCoordinator runs an async verification through the fleet:
+// the accept body carries a worker-prefixed job id, polling routes to the
+// owning worker, and the SSE stream pipes through to completion.
+func TestJobsThroughCoordinator(t *testing.T) {
+	f := newFleet(t, 2, service.Config{SSEKeepalive: 10 * time.Millisecond}, nil)
+	resp := post(t, f.ts.URL+"/v1/verify?async=1", service.VerifyRequest{
+		Spec:    distinctSpec(3),
+		Options: service.VerifyRequestOptions{ObsDepth: 4, Faults: []string{"loss"}},
+	})
+	var acc service.JobAccepted
+	if err := json.Unmarshal(readBody(t, resp), &acc); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("accept status %d", resp.StatusCode)
+	}
+	workerName, _, ok := strings.Cut(acc.JobID, ".")
+	if !ok || !strings.HasPrefix(workerName, "w") {
+		t.Fatalf("job id %q lacks a worker prefix", acc.JobID)
+	}
+	if acc.Poll != "/v1/jobs/"+acc.JobID {
+		t.Fatalf("poll = %q", acc.Poll)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		jresp, err := http.Get(f.ts.URL + acc.Poll)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var job service.Job
+		if err := json.Unmarshal(readBody(t, jresp), &job); err != nil {
+			t.Fatal(err)
+		}
+		if job.ID != acc.JobID {
+			t.Fatalf("job id rewritten to %q, want %q", job.ID, acc.JobID)
+		}
+		if job.State == service.JobDone {
+			break
+		}
+		if job.State == service.JobFailed {
+			t.Fatalf("job failed: %s", job.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", job.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	sresp, err := http.Get(f.ts.URL + "/v1/jobs/" + acc.JobID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := string(readBody(t, sresp))
+	if sresp.Header.Get("Content-Type") != "text/event-stream" {
+		t.Errorf("SSE content type %q", sresp.Header.Get("Content-Type"))
+	}
+	for _, want := range []string{`"state":"queued"`, `"state":"running"`, `"state":"done"`,
+		"event: progress", `{"reason":"done"}`} {
+		if !strings.Contains(stream, want) {
+			t.Errorf("stream missing %q:\n%s", want, stream)
+		}
+	}
+
+	for _, id := range []string{"nodot", "nosuchworker.abc", "w0.doesnotexist"} {
+		resp, err := http.Get(f.ts.URL + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		readBody(t, resp)
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("job %q status %d, want 404", id, resp.StatusCode)
+		}
+	}
+}
+
+// TestVerdictsByteIdenticalToSingleProcess is the fleet-correctness
+// contract on the real corpus: for every spec, a verify with a fault matrix
+// through the coordinator returns byte-for-byte the response a
+// single-process daemon gives (counterexample witnesses included).
+func TestVerdictsByteIdenticalToSingleProcess(t *testing.T) {
+	single := httptest.NewServer(service.New(service.Config{}))
+	defer single.Close()
+	f := newFleet(t, 2, service.Config{}, nil)
+
+	specs := corpusSpecs(t, 4)
+	for name, src := range specs {
+		req := service.VerifyRequest{
+			Spec:    src,
+			Options: service.VerifyRequestOptions{Faults: []string{"loss", "dup"}},
+		}
+		// The equivalence engine's wall-clock telemetry is the only
+		// run-dependent part of a verify response: zero it on both sides,
+		// every other byte must match.
+		timings := regexp.MustCompile(`"(saturateNanos|refineNanos)":\s*\d+`)
+		scrub := func(b []byte) []byte { return timings.ReplaceAll(b, []byte(`"$1":0`)) }
+		fleetBody := scrub(readBody(t, post(t, f.ts.URL+"/v1/verify", req)))
+		singleBody := scrub(readBody(t, post(t, single.URL+"/v1/verify", req)))
+		if !bytes.Equal(fleetBody, singleBody) {
+			t.Errorf("%s: fleet and single-process responses differ:\nfleet:  %s\nsingle: %s",
+				name, fleetBody, singleBody)
+		}
+	}
+}
+
+// corpusSpecs loads up to n small corpus specifications.
+func corpusSpecs(t *testing.T, n int) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	for _, name := range []string{"example3.spec", "anbn.spec", "example5.spec", "session.spec"} {
+		if len(out) == n {
+			break
+		}
+		b, err := os.ReadFile(filepath.Join("..", "..", "specs", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[name] = string(b)
+	}
+	return out
+}
+
+// TestSpecKeyNormalization pins the shard key's canonicalization.
+func TestSpecKeyNormalization(t *testing.T) {
+	a := SpecKey("SPEC a1; b2; exit ENDSPEC")
+	b := SpecKey("  SPEC   a1 ;\n\tb2 ;\n exit\nENDSPEC  ")
+	if a != b {
+		t.Errorf("normalized variants shard differently: %s vs %s", a, b)
+	}
+	if a == SpecKey("SPEC a1; c2; exit ENDSPEC") {
+		t.Error("distinct specs share a shard key")
+	}
+	if SpecKey("not lotos at all") == SpecKey("also not lotos") {
+		t.Error("distinct garbage shares a shard key")
+	}
+}
+
+// TestCoordinatorHealthAndMetrics exercises the two introspection pages.
+func TestCoordinatorHealthAndMetrics(t *testing.T) {
+	f := newFleet(t, 2, service.Config{}, nil)
+	readBody(t, post(t, f.ts.URL+"/v1/derive", service.DeriveRequest{Spec: distinctSpec(0)}))
+
+	hresp, err := http.Get(f.ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health FleetHealth
+	if err := json.Unmarshal(readBody(t, hresp), &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" || health.RingMembers != 2 || len(health.Workers) != 2 {
+		t.Errorf("health = %+v", health)
+	}
+
+	mresp, err := http.Get(f.ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var page FleetMetricsPage
+	if err := json.Unmarshal(readBody(t, mresp), &page); err != nil {
+		t.Fatal(err)
+	}
+	if page.Coordinator.Forwards == 0 {
+		t.Errorf("coordinator stats = %+v", page.Coordinator)
+	}
+	if page.Runtime.Goroutines == 0 {
+		t.Errorf("runtime gauges missing: %+v", page.Runtime)
+	}
+	if len(page.Workers) != 2 {
+		t.Fatalf("workers = %+v", page.Workers)
+	}
+	var sawRuntime, sawCacheMiss bool
+	for _, wm := range page.Workers {
+		if wm.Runtime != nil && wm.Runtime.Goroutines > 0 {
+			sawRuntime = true
+		}
+		if wm.Cache != nil && wm.Cache.Misses > 0 {
+			sawCacheMiss = true
+		}
+	}
+	if !sawRuntime || !sawCacheMiss {
+		t.Errorf("scraped worker gauges incomplete (runtime %v, cacheMiss %v): %+v",
+			sawRuntime, sawCacheMiss, page.Workers)
+	}
+}

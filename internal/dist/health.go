@@ -1,0 +1,120 @@
+package dist
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Health transitions drive ring membership — and ring membership is the
+// failover mechanism: an unhealthy worker leaves the ring, so every key it
+// owned lands deterministically on the next arc clockwise; on recovery the
+// arcs (and the cache keys that were hot on it) come back.
+//
+// Two signals feed the same per-worker failure counter: the periodic
+// /healthz probe, and transport failures observed while forwarding real
+// traffic (passive checking — a dying worker under load is failed out
+// without waiting for the prober).
+
+// recordFailure notes a probe or forward failure; crossing the threshold
+// drops the worker from the ring.
+func (wk *worker) recordFailure(c *Coordinator, err error) {
+	wk.mu.Lock()
+	wk.errors++
+	wk.fails++
+	wk.lastErr = err.Error()
+	drop := wk.healthy && wk.fails >= c.cfg.FailThreshold
+	if drop {
+		wk.healthy = false
+	}
+	wk.mu.Unlock()
+	if drop {
+		c.ring.Remove(wk.info.Name)
+	}
+}
+
+// recordSuccess notes a successfully answered forward; a recovering worker
+// rejoins the ring.
+func (wk *worker) recordSuccess(c *Coordinator) {
+	wk.mu.Lock()
+	wk.forwards++
+	wk.mu.Unlock()
+	wk.markAlive(c)
+}
+
+// markAlive resets the failure counter (probe or forward success) and
+// rejoins a recovered worker to the ring.
+func (wk *worker) markAlive(c *Coordinator) {
+	wk.mu.Lock()
+	wk.fails = 0
+	wk.lastErr = ""
+	revive := !wk.healthy
+	if revive {
+		wk.healthy = true
+	}
+	wk.mu.Unlock()
+	if revive {
+		c.ring.Add(wk.info.Name)
+	}
+}
+
+// healthLoop probes every worker each interval until Close.
+func (c *Coordinator) healthLoop() {
+	defer c.wg.Done()
+	ticker := time.NewTicker(c.cfg.HealthInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-ticker.C:
+			c.probeAll()
+		}
+	}
+}
+
+// probeAll checks every worker's /healthz concurrently.
+func (c *Coordinator) probeAll() {
+	var wg sync.WaitGroup
+	for _, wk := range c.workers {
+		wg.Add(1)
+		go func(wk *worker) {
+			defer wg.Done()
+			c.probe(wk)
+		}(wk)
+	}
+	wg.Wait()
+}
+
+// probe performs one liveness check. A 2xx /healthz is alive; anything else
+// — transport error or bad status — is a failure.
+func (c *Coordinator) probe(wk *worker) {
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.HealthTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, wk.info.URL+"/healthz", nil)
+	if err != nil {
+		wk.recordFailure(c, err)
+		return
+	}
+	resp, err := c.cfg.Client.Do(req)
+	if err != nil {
+		wk.recordFailure(c, err)
+		return
+	}
+	resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		wk.recordFailure(c, &probeStatusError{resp.StatusCode})
+		return
+	}
+	wk.mu.Lock()
+	wk.lastProbe = time.Now()
+	wk.mu.Unlock()
+	wk.markAlive(c)
+}
+
+type probeStatusError struct{ status int }
+
+func (e *probeStatusError) Error() string {
+	return http.StatusText(e.status) + " from /healthz"
+}

@@ -1,0 +1,157 @@
+package dist
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringOf(n int) *Ring {
+	r := NewRing(0)
+	for i := 0; i < n; i++ {
+		r.Add(fmt.Sprintf("w%d", i))
+	}
+	return r
+}
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("spec-digest-%d", i)
+	}
+	return out
+}
+
+// TestRingBalance asserts the key distribution across 8 nodes stays within
+// 15% of the uniform share — the load-spread contract of the vnode count.
+func TestRingBalance(t *testing.T) {
+	const nodes, nkeys = 8, 100000
+	r := ringOf(nodes)
+	counts := map[string]int{}
+	for _, k := range keys(nkeys) {
+		counts[r.Owner(k)]++
+	}
+	if len(counts) != nodes {
+		t.Fatalf("owners = %v, want %d nodes", counts, nodes)
+	}
+	mean := float64(nkeys) / nodes
+	for node, c := range counts {
+		dev := (float64(c) - mean) / mean
+		if dev > 0.15 || dev < -0.15 {
+			t.Errorf("node %s owns %d keys, %+.1f%% off the uniform share %0.f",
+				node, c, 100*dev, mean)
+		}
+	}
+}
+
+// TestRingMinimalRemapOnJoin asserts a node joining an 8-node ring steals
+// fewer than 2/9 of the keys, and every stolen key moves TO the joiner —
+// the cache-warmth contract: untouched arcs keep their owner.
+func TestRingMinimalRemapOnJoin(t *testing.T) {
+	const nkeys = 100000
+	r := ringOf(8)
+	ks := keys(nkeys)
+	before := make(map[string]string, nkeys)
+	for _, k := range ks {
+		before[k] = r.Owner(k)
+	}
+	r.Add("w8")
+	moved := 0
+	for _, k := range ks {
+		now := r.Owner(k)
+		if now != before[k] {
+			moved++
+			if now != "w8" {
+				t.Fatalf("key %s moved %s -> %s, not to the joiner", k, before[k], now)
+			}
+		}
+	}
+	if limit := 2 * nkeys / 9; moved >= limit {
+		t.Errorf("join moved %d/%d keys, want < %d (2/N)", moved, nkeys, limit)
+	}
+	if moved == 0 {
+		t.Error("join moved no keys: the new node owns nothing")
+	}
+}
+
+// TestRingMinimalRemapOnLeave asserts removing a node moves only the keys
+// it owned (fewer than 2/8 of the total), and no key between two surviving
+// nodes changes owner.
+func TestRingMinimalRemapOnLeave(t *testing.T) {
+	const nkeys = 100000
+	r := ringOf(8)
+	ks := keys(nkeys)
+	before := make(map[string]string, nkeys)
+	for _, k := range ks {
+		before[k] = r.Owner(k)
+	}
+	r.Remove("w3")
+	moved := 0
+	for _, k := range ks {
+		now := r.Owner(k)
+		if before[k] == "w3" {
+			if now == "w3" {
+				t.Fatalf("key %s still owned by removed node", k)
+			}
+			moved++
+		} else if now != before[k] {
+			t.Fatalf("key %s moved %s -> %s though its owner survived", k, before[k], now)
+		}
+	}
+	if limit := 2 * nkeys / 8; moved >= limit {
+		t.Errorf("leave moved %d/%d keys, want < %d (2/N)", moved, nkeys, limit)
+	}
+}
+
+// TestRingSequence asserts the failover order is deterministic, distinct,
+// starts at the owner, and is capped by membership.
+func TestRingSequence(t *testing.T) {
+	r := ringOf(4)
+	for _, k := range keys(100) {
+		seq := r.Sequence(k, 3)
+		if len(seq) != 3 {
+			t.Fatalf("sequence %v, want 3 nodes", seq)
+		}
+		if seq[0] != r.Owner(k) {
+			t.Fatalf("sequence %v does not start at owner %s", seq, r.Owner(k))
+		}
+		seen := map[string]bool{}
+		for _, n := range seq {
+			if seen[n] {
+				t.Fatalf("sequence %v has duplicates", seq)
+			}
+			seen[n] = true
+		}
+		again := r.Sequence(k, 3)
+		if fmt.Sprint(again) != fmt.Sprint(seq) {
+			t.Fatalf("sequence not deterministic: %v vs %v", seq, again)
+		}
+	}
+	if got := r.Sequence("k", 10); len(got) != 4 {
+		t.Errorf("over-asking returned %v, want all 4 members", got)
+	}
+	if got := NewRing(0).Sequence("k", 2); got != nil {
+		t.Errorf("empty ring sequence = %v, want nil", got)
+	}
+	if got := NewRing(0).Owner("k"); got != "" {
+		t.Errorf("empty ring owner = %q", got)
+	}
+}
+
+// TestRingFailoverDeterminism pins the failover contract end to end:
+// removing a key's owner makes the key's new owner exactly the second
+// element of the pre-failure sequence.
+func TestRingFailoverDeterminism(t *testing.T) {
+	r := ringOf(5)
+	for _, k := range keys(200) {
+		seq := r.Sequence(k, 2)
+		r.Remove(seq[0])
+		if got := r.Owner(k); got != seq[1] {
+			t.Fatalf("key %s: owner after removing %s = %s, want successor %s",
+				k, seq[0], got, seq[1])
+		}
+		r.Add(seq[0])
+		if got := r.Owner(k); got != seq[0] {
+			t.Fatalf("key %s: owner after re-adding %s = %s, want it back", k, seq[0], got)
+		}
+	}
+}

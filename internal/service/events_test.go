@@ -1,0 +1,349 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// sseEvent is one parsed server-sent event of the job progress stream.
+type sseEvent struct {
+	Name string
+	Data string
+}
+
+// readSSE parses a complete SSE stream (until EOF), skipping keepalive
+// comment lines.
+func readSSE(t *testing.T, resp *http.Response) []sseEvent {
+	t.Helper()
+	defer resp.Body.Close()
+	var (
+		out []sseEvent
+		cur sseEvent
+	)
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, ":"):
+			// keepalive comment
+		case strings.HasPrefix(line, "event: "):
+			cur.Name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.Data = strings.TrimPrefix(line, "data: ")
+		case line == "":
+			if cur.Name != "" || cur.Data != "" {
+				out = append(out, cur)
+				cur = sseEvent{}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("reading SSE stream: %v", err)
+	}
+	return out
+}
+
+// TestJobEventsStream runs an async verification with a fault matrix and
+// asserts the SSE stream carries the full lifecycle — queued, running, one
+// progress event per phase (derive, reliable verify, each fault cell),
+// done — and finishes with an explicit end event.
+func TestJobEventsStream(t *testing.T) {
+	_, ts := newTestServer(t, Config{SSEKeepalive: 10 * time.Millisecond})
+	resp := postJSON(t, ts.URL+"/v1/verify?async=1", VerifyRequest{
+		Spec:    "SPEC evta1; evtb2; exit ENDSPEC",
+		Options: VerifyRequestOptions{ObsDepth: 4, Faults: []string{"loss", "dup"}},
+	})
+	acc := decode[JobAccepted](t, resp)
+	if resp.StatusCode != http.StatusAccepted || acc.JobID == "" {
+		t.Fatalf("accept status %d body %+v", resp.StatusCode, acc)
+	}
+
+	sresp, err := http.Get(ts.URL + "/v1/jobs/" + acc.JobID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := sresp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Errorf("content type %q", ct)
+	}
+	events := readSSE(t, sresp)
+
+	var states, progress []string
+	endReason := ""
+	for _, ev := range events {
+		var body struct {
+			State   string `json:"state"`
+			Message string `json:"message"`
+			Reason  string `json:"reason"`
+		}
+		if err := json.Unmarshal([]byte(ev.Data), &body); err != nil {
+			t.Fatalf("event %q data %q: %v", ev.Name, ev.Data, err)
+		}
+		switch ev.Name {
+		case "state":
+			states = append(states, body.State)
+		case "progress":
+			progress = append(progress, body.Message)
+		case "end":
+			endReason = body.Reason
+		default:
+			t.Errorf("unexpected event name %q", ev.Name)
+		}
+	}
+	// The subscriber may attach at any point of the job's life: replayed
+	// history makes the full sequence visible regardless.
+	if want := []string{"queued", "running", "done"}; fmt.Sprint(states) != fmt.Sprint(want) {
+		t.Errorf("states = %v, want %v", states, want)
+	}
+	wantProgress := []string{"derive", "verify reliable", "verify faults=loss", "verify faults=dup"}
+	if fmt.Sprint(progress) != fmt.Sprint(wantProgress) {
+		t.Errorf("progress = %v, want %v", progress, wantProgress)
+	}
+	if endReason != "done" {
+		t.Errorf("end reason = %q, want done", endReason)
+	}
+
+	// Late subscriber: the job is terminal, the stream replays the whole
+	// history and ends immediately.
+	sresp, err = http.Get(ts.URL + "/v1/jobs/" + acc.JobID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replay := readSSE(t, sresp); len(replay) != len(events) {
+		t.Errorf("replayed %d events, want %d", len(replay), len(events))
+	}
+}
+
+// TestJobEventsFailed asserts a failing job streams a failed state carrying
+// the error and ends with reason "failed".
+func TestJobEventsFailed(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp := postJSON(t, ts.URL+"/v1/verify?async=1", VerifyRequest{
+		// Grammatical but violating the service restrictions: parse
+		// succeeds (job accepted), derivation fails.
+		Spec: "SPEC a1; exit [] a1; stop ENDSPEC",
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		acc := decode[ErrorResponse](t, resp)
+		t.Skipf("spec rejected at submit (%+v); restriction caught at parse", acc)
+	}
+	acc := decode[JobAccepted](t, resp)
+	sresp, err := http.Get(ts.URL + "/v1/jobs/" + acc.JobID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := readSSE(t, sresp)
+	if len(events) == 0 {
+		t.Fatal("no events")
+	}
+	last := events[len(events)-1]
+	if last.Name != "end" || !strings.Contains(last.Data, "failed") {
+		t.Errorf("last event = %+v, want end/failed", last)
+	}
+}
+
+// TestJobEventsUnknownJob asserts the events endpoint 404s for unknown ids.
+func TestJobEventsUnknownJob(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/jobs/doesnotexist/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestSubscribeEvictedWhileAttached pins the eviction contract at the store
+// level: a subscriber attached to a finished job has its channel closed
+// when the TTL sweep evicts the job under it.
+func TestSubscribeEvictedWhileAttached(t *testing.T) {
+	store := NewJobStore(time.Minute, 8)
+	clock := time.Unix(1000, 0)
+	store.now = func() time.Time { return clock }
+
+	id := store.Create("verify")
+	store.Start(id)
+	past, ch, cancel, ok := store.Subscribe(id)
+	if !ok {
+		t.Fatal("subscribe failed")
+	}
+	defer cancel()
+	if len(past) != 2 {
+		t.Fatalf("past = %+v, want queued+running", past)
+	}
+	store.Publish(id, "derive")
+	store.Finish(id, "result", nil)
+
+	// Advance past the TTL; any store access sweeps.
+	clock = clock.Add(2 * time.Minute)
+	if _, ok := store.Get(id); ok {
+		t.Fatal("job survived the TTL sweep")
+	}
+
+	var got []JobEvent
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case ev, open := <-ch:
+			if !open {
+				if len(got) != 2 || got[0].Message != "derive" || got[1].State != JobDone {
+					t.Fatalf("events before close = %+v", got)
+				}
+				if _, _, _, ok := store.Subscribe(id); ok {
+					t.Fatal("evicted job still subscribable")
+				}
+				return
+			}
+			got = append(got, ev)
+		case <-deadline:
+			t.Fatalf("channel not closed by eviction; got %+v", got)
+		}
+	}
+}
+
+// TestJobStoreChurn hammers one store from many goroutines — creators
+// running the full lifecycle, pollers, subscribers draining streams, and a
+// clock racing the TTL sweep — under -race. It asserts nothing deadlocks,
+// every subscriber's channel terminates (close or terminal event), and the
+// counters reconcile.
+func TestJobStoreChurn(t *testing.T) {
+	store := NewJobStore(time.Millisecond, 32)
+
+	const (
+		creators = 8
+		rounds   = 40
+	)
+	var (
+		wg  sync.WaitGroup
+		ids sync.Map // id -> struct{}
+	)
+	for c := 0; c < creators; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c)))
+			for i := 0; i < rounds; i++ {
+				id := store.Create("verify")
+				ids.Store(id, struct{}{})
+				store.Start(id)
+				store.Publish(id, "derive")
+				if rng.Intn(4) == 0 {
+					store.Finish(id, nil, fmt.Errorf("synthetic"))
+				} else {
+					store.Finish(id, map[string]any{"ok": true}, nil)
+				}
+				if rng.Intn(2) == 0 {
+					time.Sleep(time.Duration(rng.Intn(3)) * time.Millisecond)
+				}
+			}
+		}(c)
+	}
+	// Pollers: Get/Stats trigger sweeps concurrently with everything else.
+	stop := make(chan struct{})
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ids.Range(func(k, _ any) bool {
+					store.Get(k.(string))
+					return true
+				})
+				store.Stats()
+			}
+		}()
+	}
+	// Subscribers: attach to whatever exists, drain until close or a
+	// terminal event, and bail out via cancel half the time.
+	for sub := 0; sub < 4; sub++ {
+		wg.Add(1)
+		go func(sub int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + sub)))
+			for i := 0; i < 200; i++ {
+				var target string
+				ids.Range(func(k, _ any) bool {
+					target = k.(string)
+					return rng.Intn(3) != 0
+				})
+				if target == "" {
+					continue
+				}
+				past, ch, cancel, ok := store.Subscribe(target)
+				if !ok {
+					continue
+				}
+				if rng.Intn(2) == 0 {
+					cancel()
+					continue
+				}
+				terminal := false
+				for _, ev := range past {
+					if ev.State == JobDone || ev.State == JobFailed {
+						terminal = true
+					}
+				}
+				if terminal {
+					// Already finished: nothing further is guaranteed to
+					// arrive before eviction closes the channel, and no
+					// sweeper may be left running by then.
+					cancel()
+					continue
+				}
+				timeout := time.After(5 * time.Second)
+			drain:
+				for {
+					select {
+					case ev, open := <-ch:
+						if !open || ev.State == JobDone || ev.State == JobFailed {
+							break drain
+						}
+					case <-timeout:
+						t.Error("subscriber stuck: channel neither closed nor terminal")
+						break drain
+					}
+				}
+				cancel()
+			}
+		}(sub)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	// Creators finish first; let pollers spin a moment longer over the
+	// draining population, then stop them.
+	go func() {
+		time.Sleep(300 * time.Millisecond)
+		close(stop)
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("churn did not settle")
+	}
+
+	st := store.Stats()
+	want := uint64(creators * rounds)
+	if st.Created != want || st.Finished != want {
+		t.Errorf("stats = %+v, want %d created+finished", st, want)
+	}
+	if st.Live > 32 {
+		t.Errorf("live jobs %d exceed the cap", st.Live)
+	}
+}

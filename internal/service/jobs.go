@@ -38,6 +38,35 @@ type Job struct {
 
 func (j *Job) terminal() bool { return j.State == JobDone || j.State == JobFailed }
 
+// JobEvent is one entry of a job's progress stream: a lifecycle transition
+// ("state") or a computation phase marker ("progress"). Events are
+// sequence-numbered per job and replayed to late subscribers, so an SSE
+// client attaching after the fact still sees the full history.
+type JobEvent struct {
+	Seq  int       `json:"seq"`
+	Time time.Time `json:"time"`
+	// Type is "state" (State holds the new lifecycle state) or "progress"
+	// (Message names the phase the computation just entered).
+	Type    string   `json:"type"`
+	State   JobState `json:"state,omitempty"`
+	Message string   `json:"message,omitempty"`
+}
+
+// eventLog is the per-job event history plus its live subscribers. It is
+// guarded by the owning JobStore's mutex. Subscriber channels are buffered;
+// a subscriber that falls further behind than the buffer loses intermediate
+// events (never the close), so a slow SSE client cannot block the store.
+type eventLog struct {
+	events []JobEvent
+	subs   map[int]chan JobEvent
+	next   int
+}
+
+// subBuffer is the per-subscriber channel depth. Jobs emit a handful of
+// lifecycle events plus one progress event per verification phase, so this
+// is generous; an SSE consumer slower than this drops intermediate events.
+const subBuffer = 64
+
 // JobStats is the JSON snapshot of the store's counters.
 type JobStats struct {
 	Created  uint64 `json:"created"`
@@ -53,7 +82,8 @@ type JobStats struct {
 type JobStore struct {
 	mu    sync.Mutex
 	jobs  map[string]*Job
-	order []string // creation order, for capped eviction
+	logs  map[string]*eventLog // per-job event history + subscribers
+	order []string             // creation order, for capped eviction
 	ttl   time.Duration
 	max   int
 	stats JobStats
@@ -70,7 +100,7 @@ func NewJobStore(ttl time.Duration, max int) *JobStore {
 	if max <= 0 {
 		max = 1024
 	}
-	return &JobStore{jobs: map[string]*Job{}, ttl: ttl, max: max, now: time.Now}
+	return &JobStore{jobs: map[string]*Job{}, logs: map[string]*eventLog{}, ttl: ttl, max: max, now: time.Now}
 }
 
 func newJobID() string {
@@ -91,9 +121,85 @@ func (s *JobStore) Create(kind string) string {
 		id = newJobID()
 	}
 	s.jobs[id] = &Job{ID: id, Kind: kind, State: JobQueued, Created: s.now()}
+	s.logs[id] = &eventLog{subs: map[int]chan JobEvent{}}
 	s.order = append(s.order, id)
 	s.stats.Created++
+	s.publishLocked(id, JobEvent{Type: "state", State: JobQueued})
 	return id
+}
+
+// publishLocked appends an event to a job's log and fans it out to every
+// live subscriber. Subscribers whose buffer is full lose the event.
+func (s *JobStore) publishLocked(id string, ev JobEvent) {
+	log := s.logs[id]
+	if log == nil {
+		return
+	}
+	ev.Seq = len(log.events)
+	ev.Time = s.now()
+	log.events = append(log.events, ev)
+	for _, ch := range log.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// closeLogLocked closes every subscriber channel of a job's log and drops
+// the log. Subscribers drain their buffered events, then see the close.
+func (s *JobStore) closeLogLocked(id string) {
+	log := s.logs[id]
+	if log == nil {
+		return
+	}
+	for _, ch := range log.subs {
+		close(ch)
+	}
+	log.subs = nil
+	delete(s.logs, id)
+}
+
+// Publish appends a progress event to a live job's stream. Progress on an
+// unknown or terminal job is dropped: the singleflight computation emitting
+// it may outlive the job that started it.
+func (s *JobStore) Publish(id, message string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j := s.jobs[id]; j != nil && !j.terminal() {
+		s.publishLocked(id, JobEvent{Type: "progress", Message: message})
+	}
+}
+
+// Subscribe attaches to a job's event stream. It returns the events
+// published so far, a channel of subsequent ones, and a cancel function the
+// caller must invoke when done. A terminal job's history stays subscribable
+// until the job is evicted; eviction closes the channel of every attached
+// subscriber. ok is false for unknown (or already evicted) jobs.
+func (s *JobStore) Subscribe(id string) (past []JobEvent, ch <-chan JobEvent, cancel func(), ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sweepLocked()
+	log := s.logs[id]
+	if log == nil {
+		return nil, nil, nil, false
+	}
+	past = append([]JobEvent(nil), log.events...)
+	c := make(chan JobEvent, subBuffer)
+	n := log.next
+	log.next++
+	log.subs[n] = c
+	cancel = func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if l := s.logs[id]; l != nil {
+			if _, live := l.subs[n]; live {
+				delete(l.subs, n)
+				close(c)
+			}
+		}
+	}
+	return past, c, cancel, true
 }
 
 // Start marks a job running.
@@ -103,6 +209,7 @@ func (s *JobStore) Start(id string) {
 	if j := s.jobs[id]; j != nil && j.State == JobQueued {
 		j.State = JobRunning
 		j.Started = s.now()
+		s.publishLocked(id, JobEvent{Type: "state", State: JobRunning})
 	}
 }
 
@@ -119,9 +226,11 @@ func (s *JobStore) Finish(id string, result any, err error) {
 		j.State = JobFailed
 		j.Error = err.Error()
 		s.stats.Failed++
+		s.publishLocked(id, JobEvent{Type: "state", State: JobFailed, Message: j.Error})
 	} else {
 		j.State = JobDone
 		j.Result = result
+		s.publishLocked(id, JobEvent{Type: "state", State: JobDone})
 	}
 	s.stats.Finished++
 }
@@ -161,6 +270,7 @@ func (s *JobStore) sweepLocked() {
 	for _, id := range s.order {
 		if evict(id, s.jobs[id]) {
 			delete(s.jobs, id)
+			s.closeLogLocked(id)
 			s.stats.Evicted++
 		} else if s.jobs[id] != nil {
 			kept = append(kept, id)
@@ -175,6 +285,7 @@ func (s *JobStore) sweepLocked() {
 		j := s.jobs[id]
 		if len(s.jobs) > s.max && j.terminal() {
 			delete(s.jobs, id)
+			s.closeLogLocked(id)
 			s.stats.Evicted++
 			continue
 		}

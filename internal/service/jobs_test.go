@@ -49,8 +49,8 @@ func TestJobUnknownID(t *testing.T) {
 	if _, ok := s.Get("deadbeef"); ok {
 		t.Error("unknown id found")
 	}
-	s.Start("deadbeef")           // must not panic
-	s.Finish("deadbeef", 1, nil)  // must not panic
+	s.Start("deadbeef")          // must not panic
+	s.Finish("deadbeef", 1, nil) // must not panic
 }
 
 func TestJobTTLEviction(t *testing.T) {

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -107,6 +108,52 @@ type CompileCounters struct {
 	// States and Transitions sum the minimized machine sizes.
 	States      uint64 `json:"states"`
 	Transitions uint64 `json:"transitions"`
+}
+
+// RuntimeStats is a point-in-time snapshot of the Go runtime's health
+// gauges, exported on /metrics so a fleet coordinator can watch each
+// worker's memory and scheduler pressure alongside the latency histograms.
+type RuntimeStats struct {
+	// Goroutines is the live goroutine count.
+	Goroutines int `json:"goroutines"`
+	// GOMAXPROCS is the scheduler's processor limit.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// HeapAllocBytes is live heap memory; HeapInuseBytes the spans holding
+	// it; HeapSysBytes the heap address space held from the OS;
+	// StackInuseBytes the goroutine stack memory.
+	HeapAllocBytes  uint64 `json:"heapAllocBytes"`
+	HeapInuseBytes  uint64 `json:"heapInuseBytes"`
+	HeapSysBytes    uint64 `json:"heapSysBytes"`
+	StackInuseBytes uint64 `json:"stackInuseBytes"`
+	// NextGCBytes is the heap-size target of the next collection.
+	NextGCBytes uint64 `json:"nextGCBytes"`
+	// NumGC counts completed collections; GCPauseTotalMS sums every
+	// stop-the-world pause since process start and GCPauseLastMS is the
+	// most recent one.
+	NumGC          uint32  `json:"numGC"`
+	GCPauseTotalMS float64 `json:"gcPauseTotalMs"`
+	GCPauseLastMS  float64 `json:"gcPauseLastMs"`
+}
+
+// ReadRuntimeStats samples the runtime gauges.
+func ReadRuntimeStats() RuntimeStats {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	out := RuntimeStats{
+		Goroutines:      runtime.NumGoroutine(),
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		HeapAllocBytes:  ms.HeapAlloc,
+		HeapInuseBytes:  ms.HeapInuse,
+		HeapSysBytes:    ms.HeapSys,
+		StackInuseBytes: ms.StackInuse,
+		NextGCBytes:     ms.NextGC,
+		NumGC:           ms.NumGC,
+		GCPauseTotalMS:  float64(ms.PauseTotalNs) / 1e6,
+	}
+	if ms.NumGC > 0 {
+		out.GCPauseLastMS = float64(ms.PauseNs[(ms.NumGC+255)%256]) / 1e6
+	}
+	return out
 }
 
 // Metrics aggregates the daemon's counters: per-endpoint request totals,

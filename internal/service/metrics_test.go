@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"errors"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -126,5 +127,21 @@ func TestPoolWaitersProceedOnRelease(t *testing.T) {
 func TestPoolDefaultSize(t *testing.T) {
 	if c := NewPool(0).Stats().Capacity; c < 1 {
 		t.Errorf("default capacity = %d", c)
+	}
+}
+
+// TestRuntimeStats asserts the Go runtime gauges are populated and exposed
+// on the metrics page.
+func TestRuntimeStats(t *testing.T) {
+	runtime.GC() // ensure at least one collection is on record
+	rs := ReadRuntimeStats()
+	if rs.Goroutines < 1 || rs.GOMAXPROCS < 1 {
+		t.Errorf("scheduler gauges = %+v", rs)
+	}
+	if rs.HeapAllocBytes == 0 || rs.HeapSysBytes == 0 || rs.NextGCBytes == 0 {
+		t.Errorf("heap gauges = %+v", rs)
+	}
+	if rs.NumGC == 0 || rs.GCPauseTotalMS <= 0 || rs.GCPauseLastMS <= 0 {
+		t.Errorf("GC gauges = %+v", rs)
 	}
 }

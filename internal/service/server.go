@@ -23,8 +23,10 @@
 //	POST /v1/verify?async=1  same, as an async job -> {"jobId": ...}
 //	POST /v1/explore         spec -> bounded LTS exploration report
 //	GET  /v1/jobs/{id}       async job status/result
+//	GET  /v1/jobs/{id}/events  job progress as server-sent events
 //	GET  /healthz            liveness
-//	GET  /metrics            JSON counters (requests, cache, pools, jobs)
+//	GET  /metrics            JSON counters (requests, cache, pools, jobs,
+//	                         Go runtime gauges)
 package service
 
 import (
@@ -62,6 +64,10 @@ type Config struct {
 	MaxJobs int
 	// MaxBodyBytes caps request bodies (0 = 1 MiB).
 	MaxBodyBytes int64
+	// SSEKeepalive is the comment-line heartbeat interval of the job event
+	// stream (0 = 15s). Keepalives let proxies and clients distinguish an
+	// idle stream from a dead one.
+	SSEKeepalive time.Duration
 
 	// PreCompute, when set, is invoked inside the computing call of every
 	// cache miss, after a worker slot is acquired and before the
@@ -81,6 +87,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 1 << 20
+	}
+	if c.SSEKeepalive <= 0 {
+		c.SSEKeepalive = 15 * time.Second
 	}
 	return c
 }
@@ -114,6 +123,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/verify", s.instrument("verify", s.handleVerify))
 	s.mux.HandleFunc("POST /v1/explore", s.instrument("explore", s.handleExplore))
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("jobs", s.handleJob))
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.instrument("jobEvents", s.handleJobEvents))
 	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	return s
@@ -326,6 +336,8 @@ type MetricsPage struct {
 	Cache CacheStats           `json:"cache"`
 	Pools map[string]PoolStats `json:"pools"`
 	Jobs  JobStats             `json:"jobs"`
+	// Runtime samples the Go runtime's health gauges at scrape time.
+	Runtime RuntimeStats `json:"runtime"`
 }
 
 // --- plumbing ---------------------------------------------------------------
@@ -494,7 +506,7 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) int {
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.SyncDeadline)
 	defer cancel()
 	val, outcome, err := s.compute(ctx, s.verifyPool, "verify", key, func() (any, error) {
-		return s.verifyResponse(svc, req.Options)
+		return s.verifyResponse(svc, req.Options, nil)
 	})
 	if err != nil {
 		return writeError(w, err)
@@ -507,13 +519,15 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) int {
 // runVerifyJob executes an async verification. The job shares the cache
 // and singleflight with synchronous requests: an async job for a spec
 // someone is already verifying joins that computation, and its result
-// serves later synchronous requests.
+// serves later synchronous requests. Phase progress events flow to the
+// job's SSE stream only from the call that actually computes — a job that
+// joins another caller's in-flight computation sees lifecycle events only.
 func (s *Server) runVerifyJob(id, key string, svc *protoderive.Service, opts VerifyRequestOptions) {
 	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.JobDeadline)
 	defer cancel()
 	s.jobs.Start(id)
 	val, outcome, err := s.compute(ctx, s.verifyPool, "verify", key, func() (any, error) {
-		return s.verifyResponse(svc, opts)
+		return s.verifyResponse(svc, opts, func(phase string) { s.jobs.Publish(id, phase) })
 	})
 	if err != nil {
 		s.jobs.Finish(id, nil, err)
@@ -528,7 +542,13 @@ func (s *Server) runVerifyJob(id, key string, svc *protoderive.Service, opts Ver
 // computing call of a cache miss, so the engine-counter aggregation in
 // s.metrics counts each distinct verification once — cache hits and joined
 // singleflight waiters serve the stored response without re-recording.
-func (s *Server) verifyResponse(svc *protoderive.Service, opts VerifyRequestOptions) (*VerifyResponse, error) {
+// progress, when non-nil, is invoked at the start of each phase (derive,
+// reliable verify, one per fault-matrix cell).
+func (s *Server) verifyResponse(svc *protoderive.Service, opts VerifyRequestOptions, progress func(string)) (*VerifyResponse, error) {
+	if progress == nil {
+		progress = func(string) {}
+	}
+	progress("derive")
 	proto, err := svc.DeriveWithOptions(opts.facade())
 	if err != nil {
 		return nil, err
@@ -541,6 +561,7 @@ func (s *Server) verifyResponse(svc *protoderive.Service, opts VerifyRequestOpti
 		Workers:        opts.Workers,
 		TraceDiffLimit: opts.TraceDiffLimit,
 	}
+	progress("verify reliable")
 	rep, err := proto.Verify(vo)
 	if err != nil {
 		return nil, err
@@ -567,8 +588,12 @@ func (s *Server) verifyResponse(svc *protoderive.Service, opts VerifyRequestOpti
 	if err != nil {
 		return nil, err
 	}
-	if len(models) > 0 {
-		cells, err := proto.VerifyMatrix(models, vo)
+	// One VerifyMatrix call per model (the matrix is a per-model loop
+	// anyway, so the cells are identical) so each cell can announce itself
+	// on the progress stream before its exploration starts.
+	for _, m := range models {
+		progress("verify faults=" + m.String())
+		cells, err := proto.VerifyMatrix([]protoderive.FaultModel{m}, vo)
 		if err != nil {
 			return nil, err
 		}
@@ -630,6 +655,72 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) int {
 	return writeJSON(w, http.StatusOK, job)
 }
 
+// handleJobEvents streams a job's progress as server-sent events: every
+// stored event replayed, then live events as they happen, then an "end"
+// event naming why the stream finished ("done", "failed" or "evicted").
+// Comment-line keepalives tick while a computation is silent.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) int {
+	past, ch, cancel, ok := s.jobs.Subscribe(r.PathValue("id"))
+	if !ok {
+		return writeJSON(w, http.StatusNotFound, ErrorResponse{Error: "no such job (expired or never created)"})
+	}
+	defer cancel()
+	fl, canFlush := w.(http.Flusher)
+	if !canFlush {
+		return writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: "streaming unsupported by connection"})
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+
+	end := func(reason string) int {
+		fmt.Fprintf(w, "event: end\ndata: {\"reason\":%q}\n\n", reason)
+		fl.Flush()
+		return http.StatusOK
+	}
+	writeEvent := func(ev JobEvent) (terminalReason string) {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return "" // cannot happen for JobEvent; keep streaming
+		}
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data)
+		fl.Flush()
+		switch ev.State {
+		case JobDone:
+			return "done"
+		case JobFailed:
+			return "failed"
+		}
+		return ""
+	}
+	for _, ev := range past {
+		if reason := writeEvent(ev); reason != "" {
+			return end(reason)
+		}
+	}
+	keepalive := time.NewTicker(s.cfg.SSEKeepalive)
+	defer keepalive.Stop()
+	for {
+		select {
+		case ev, open := <-ch:
+			if !open {
+				// Evicted (or racing cancel) while attached: the job is
+				// gone, so there is nothing more to say.
+				return end("evicted")
+			}
+			if reason := writeEvent(ev); reason != "" {
+				return end(reason)
+			}
+		case <-keepalive.C:
+			fmt.Fprint(w, ": keepalive\n\n")
+			fl.Flush()
+		case <-r.Context().Done():
+			return http.StatusOK
+		}
+	}
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) int {
 	return writeJSON(w, http.StatusOK, Health{
 		Status:        "ok",
@@ -646,6 +737,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) int {
 			"derive": s.derivePool.Stats(),
 			"verify": s.verifyPool.Stats(),
 		},
-		Jobs: s.jobs.Stats(),
+		Jobs:    s.jobs.Stats(),
+		Runtime: ReadRuntimeStats(),
 	})
 }

@@ -1,6 +1,18 @@
 GO ?= go
 
-.PHONY: build test check fuzz-smoke fault-matrix-smoke cluster-smoke dist-smoke run-pgd bench bench-baseline bench-server bench-equiv bench-equiv-record bench-fsm bench-fsm-record bench-cluster bench-cluster-record bench-dist bench-dist-record
+.PHONY: build test check fuzz-smoke fault-matrix-smoke compositional-smoke cluster-smoke dist-smoke run-pgd bench bench-baseline bench-server bench-equiv bench-equiv-record bench-fsm bench-fsm-record bench-cluster bench-cluster-record bench-dist bench-dist-record bench-compositional bench-compositional-record
+
+# guard-record refuses to overwrite a committed BENCH_*.json file: each one
+# is the performance record of the PR that introduced its lane, captured on
+# that PR's hardware, and silently re-recording it on a different machine
+# would rewrite history. Pass FORCE=1 to re-record deliberately.
+define guard-record
+@if [ -f $(1) ] && [ "$(FORCE)" != "1" ]; then \
+	echo "$(1) already exists — it is the committed per-PR performance record."; \
+	echo "re-record deliberately with: make $(2) FORCE=1"; \
+	exit 1; \
+fi
+endef
 
 build:
 	$(GO) build ./...
@@ -16,6 +28,7 @@ check:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/sim/ ./internal/medium/ ./internal/compose/ ./internal/lts/ ./internal/service/ ./cmd/pgd/
 	$(MAKE) fault-matrix-smoke
+	$(MAKE) compositional-smoke
 	$(MAKE) cluster-smoke
 	$(MAKE) dist-smoke
 	$(MAKE) fuzz-smoke
@@ -25,6 +38,15 @@ check:
 # replaying every extracted counterexample through the concrete interpreter.
 fault-matrix-smoke:
 	$(GO) test -race -run '^(TestCorpusFaultMatrix|TestCorpusReliableColumnConformant)$$' -count=1 .
+
+# compositional-smoke is the quotient-before-compose gate: the whole corpus
+# verified monolithically and compositionally (serial and parallel, sharing
+# one artifact cache) under the race detector with verdicts, witnesses and
+# replays compared cell by cell, plus the content-addressed artifact-cache
+# correctness tests (cross-spec sharing, no false sharing, LRU bound,
+# concurrent access) and the entity-delta differ.
+compositional-smoke:
+	$(GO) test -race -run '^(TestCorpusCompositionalDifferential|TestArtifact|TestFleetSharesCachedMachines|TestDiffProtocols)' -count=1 .
 
 # cluster-smoke is the fleet-simulator gate: the cluster engine and its CLI
 # under the race detector, then the small scenario run twice with
@@ -66,13 +88,20 @@ bench:
 
 # bench-baseline records a one-iteration sweep of every benchmark as JSON,
 # the per-PR performance record (see BENCH_PR1.json).
+#
+# Note: there is intentionally no BENCH_PR4.json. PR 4 (fault-model
+# composition with replayable counterexamples) was a correctness feature
+# whose acceptance gate is fault-matrix-smoke — it introduced no benchmark
+# lane, so no performance record was ever taken for it.
 bench-baseline:
+	$(call guard-record,BENCH_PR1.json,bench-baseline)
 	$(GO) test -run '^$$' -bench . -benchtime 1x -json . | tee BENCH_PR1.json
 
 # bench-server records the daemon's end-to-end numbers — cold vs cached
 # derive throughput and concurrent-verify latency percentiles — as the
 # PR 2 performance record.
 bench-server:
+	$(call guard-record,BENCH_PR2.json,bench-server)
 	$(GO) test -run '^$$' -bench '^BenchmarkServer' -json ./internal/service | tee BENCH_PR2.json
 
 # bench-equiv sweeps the corpus through both equivalence checkers — the
@@ -83,6 +112,7 @@ bench-equiv:
 
 # bench-equiv-record writes the PR 3 performance record.
 bench-equiv-record:
+	$(call guard-record,BENCH_PR3.json,bench-equiv-record)
 	$(GO) test -run '^$$' -bench '^(BenchmarkWeakBisim|BenchmarkQuotient)$$' -benchtime 3x -benchmem -json . | tee BENCH_PR3.json
 
 # bench-fsm sweeps the corpus through both execution engines — the AST
@@ -96,6 +126,7 @@ bench-fsm:
 # bench-fsm-record writes the PR 5 performance record (time-based benchtime
 # so the steps/s and the ast-vs-fsm ratio are stable).
 bench-fsm-record:
+	$(call guard-record,BENCH_PR5.json,bench-fsm-record)
 	($(GO) test -run '^$$' -bench '^(BenchmarkSimulate|BenchmarkCompile)$$' -benchtime 0.5s -benchmem -json . ; \
 	 $(GO) test -run '^$$' -bench '^BenchmarkServerDeriveCompile' -benchtime 0.5s -benchmem -json ./internal/service) | tee BENCH_PR5.json
 
@@ -111,6 +142,7 @@ bench-cluster:
 # sessions/sec) followed by the go-test JSON stream of the DES-vs-naive
 # benchmark sweep.
 bench-cluster-record:
+	$(call guard-record,BENCH_PR6.json,bench-cluster-record)
 	($(GO) run ./cmd/lotoscluster -json scenarios/bench100k.json ; \
 	 $(GO) test -run '^$$' -bench '^BenchmarkCluster' -benchtime 3x -benchmem -json ./internal/cluster/) | tee BENCH_PR6.json
 
@@ -126,5 +158,20 @@ bench-dist:
 # first (the capacity lane models per-machine service time because CI runs
 # every "machine" on one box), then the go-test JSON stream.
 bench-dist-record:
+	$(call guard-record,BENCH_PR7.json,bench-dist-record)
 	(echo '{"note":"capacity lane models per-machine service time (2ms floor, 1 derive slot/process); all processes share this host","host":"'"$$(uname -sr)"'","cpus":'"$$(nproc)"'}' ; \
 	 $(GO) test -run '^$$' -bench '^(BenchmarkDirectDeriveCold|BenchmarkFleet|BenchmarkCapacity)' -benchtime 2s -benchmem -json ./internal/dist/) | tee BENCH_PR7.json
+
+# bench-compositional sweeps quotient-before-compose against monolithic
+# verification on the finite-entity corpus shapes (the per-spec state-count
+# reduction is reported as product-states/mono-states metrics) and the
+# delta-verify lane: a warm-cache single-entity edit against the cold full
+# verification of the same edited spec — the ≥3× acceptance bar. Also the
+# CI smoke (benchtime=1x, must complete).
+bench-compositional:
+	$(GO) test -run '^$$' -bench '^(BenchmarkCompositionalVerify|BenchmarkDeltaVerify)$$' -benchtime $(or $(BENCHTIME),1x) -benchmem .
+
+# bench-compositional-record writes the PR 8 performance record.
+bench-compositional-record:
+	$(call guard-record,BENCH_PR8.json,bench-compositional-record)
+	$(GO) test -run '^$$' -bench '^(BenchmarkCompositionalVerify|BenchmarkDeltaVerify)$$' -benchtime 3x -benchmem -json . | tee BENCH_PR8.json

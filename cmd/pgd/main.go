@@ -33,10 +33,18 @@
 //
 // Endpoints: POST /v1/derive (set options.compile to also compile each
 // entity to a minimized table-driven FSM and get per-entity state and
-// transition counts), POST /v1/verify (add ?async=1 for a job),
-// POST /v1/explore, GET /v1/jobs/{id}, GET /v1/jobs/{id}/events (SSE
-// progress stream), GET /healthz, GET /metrics (includes Go runtime
-// gauges). Coordinators add POST /v1/batch (NDJSON streaming fan-out).
+// transition counts), POST /v1/verify (add ?async=1 for a job; set
+// options.compositional to minimize each entity LTS before composing,
+// with per-entity artifacts recalled from the daemon's content-addressed
+// cache), POST /v1/delta-verify (re-verify an edited spec against a base
+// digest from an earlier verify response, reusing cached artifacts for
+// every unchanged entity), POST /v1/explore, GET /v1/jobs/{id},
+// GET /v1/jobs/{id}/events (SSE progress stream), GET /healthz,
+// GET /metrics (includes entity-artifact cache hit/miss counters,
+// compositional reuse ratios and Go runtime gauges). Coordinators add
+// POST /v1/batch (NDJSON streaming fan-out) and route delta verifications
+// by their base digest, so each delta lands on the worker whose artifact
+// cache holds the base's entity quotients.
 package main
 
 import (

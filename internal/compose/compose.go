@@ -86,9 +86,14 @@ type System struct {
 	// Entities holds one specification per place.
 	Entities map[int]*lotos.Spec
 
-	envs     []*lts.Env  // indexed like Places
+	envs     []*lts.Env  // indexed like Places; nil for preset systems
 	placeIdx map[int]int // place number -> index in Places
 	cfg      Config
+	// preset marks a system whose local tables were preloaded from quotient
+	// graphs (NewCompositional): every local state is already derived, state
+	// ids mirror the quotient graphs' state numbering (0 = initial class),
+	// and no SOS environment exists.
+	preset bool
 
 	// Interning tables, shared by every exploration of the system and —
 	// under the parallel explorer — by every worker, hence the lock.
@@ -663,6 +668,11 @@ func (s *System) Explore() (*lts.Graph, error) {
 func (s *System) rootState() *gstate {
 	n := len(s.Places)
 	root := &gstate{chans: make([][]int32, n*n)}
+	if s.preset {
+		// Quotient graphs number their initial class 0.
+		root.locals = make([]int32, n)
+		return root
+	}
 	s.mu.Lock()
 	for idx, p := range s.Places {
 		root.locals = append(root.locals, s.internStateLocked(idx, s.Entities[p].Root.Expr))

@@ -3,6 +3,8 @@ package compose
 import (
 	"fmt"
 	"strings"
+	"sync"
+	"time"
 
 	"repro/internal/equiv"
 	"repro/internal/lotos"
@@ -56,6 +58,13 @@ type Report struct {
 	// saturation size, refinement rounds, per-phase wall time). Set only
 	// when the weak-bisimulation check ran, i.e. when Complete.
 	Equiv *equiv.Stats
+
+	// Compositional reports the quotient-before-compose pipeline when the
+	// verification ran with VerifyOptions.Compositional: per-entity quotient
+	// sizes and build times, product-over-quotients size, artifact reuse,
+	// and — when the verdict came from the monolithic fallback — why. Nil
+	// for plain monolithic verifications.
+	Compositional *CompositionalStats
 }
 
 // Ok reports overall success: trace equality at the checked depth, no
@@ -125,6 +134,20 @@ type VerifyOptions struct {
 	// NoWitness skips counterexample extraction for failed verdicts (the
 	// graphs alone are wanted, e.g. in tight sweeps).
 	NoWitness bool
+	// Compositional selects the quotient-before-compose path: each entity's
+	// LTS is explored and minimized with the weak-bisimulation quotient
+	// before the product is built, so exploration runs over quotient state
+	// spaces. A conformant compositional verdict is sound (the quotient is
+	// a congruence for the product's operators); a non-conformant one, a
+	// truncated entity, or a truncated quotient product falls back to the
+	// full monolithic Verify, whose report — counterexample included — is
+	// returned wholesale with the fallback reason recorded in
+	// Report.Compositional.
+	Compositional bool
+	// EntityProvider, when set with Compositional, supplies per-entity
+	// quotient artifacts (the injection point for content-addressed caches).
+	// Nil means BuildEntityLTS per place.
+	EntityProvider EntityProvider
 }
 
 // DefaultObsDepth is the default bounded-comparison depth.
@@ -140,10 +163,22 @@ const DefaultTraceDiffLimit = 5
 // system for deadlocks and — when both state spaces are finite within the
 // limits — decides weak bisimulation.
 //
+// With opts.Compositional the product is built over weak-bisimulation
+// quotients of the entity LTSs (see verifyCompositional); a non-conformant
+// or incomplete compositional verdict falls back to the monolithic path,
+// so counterexamples are always the monolithic (replayable) ones.
+//
 // The service specification must be the analyzed clone actually derived
 // from (core.Derivation.Service.Spec), so that both sides use the same
 // normalized tree.
 func Verify(service *lotos.Spec, entities map[int]*lotos.Spec, opts VerifyOptions) (*Report, error) {
+	if opts.Compositional {
+		return verifyCompositional(service, entities, opts)
+	}
+	return verifyMonolithic(service, entities, opts)
+}
+
+func verifyMonolithic(service *lotos.Spec, entities map[int]*lotos.Spec, opts VerifyOptions) (*Report, error) {
 	if opts.ObsDepth <= 0 {
 		opts.ObsDepth = DefaultObsDepth
 	}
@@ -177,6 +212,20 @@ func Verify(service *lotos.Spec, entities map[int]*lotos.Spec, opts VerifyOption
 		ObsDepth:      opts.ObsDepth,
 		Faults:        opts.Faults,
 	}
+	verdict(r, opts)
+	if !r.Ok() && !opts.NoWitness {
+		w, err := buildWitness(sys, r, opts)
+		if err != nil {
+			return nil, fmt.Errorf("compose: extracting counterexample: %w", err)
+		}
+		r.Witness = w
+	}
+	return r, nil
+}
+
+// verdict fills the comparison fields of a report whose graphs are set.
+func verdict(r *Report, opts VerifyOptions) {
+	sg, cg := r.ServiceGraph, r.ComposedGraph
 	r.TracesEqual = equiv.WeakTraceEquivalent(sg, cg, opts.ObsDepth)
 	r.ComposedSubset = true
 	r.ServiceSubset = true
@@ -192,13 +241,179 @@ func Verify(service *lotos.Spec, entities map[int]*lotos.Spec, opts VerifyOption
 		r.WeakBisimilar, st = equiv.WeakBisimilarStats(sg, cg)
 		r.Equiv = &st
 	}
-	if !r.Ok() && !opts.NoWitness {
-		w, err := buildWitness(sys, r, opts)
-		if err != nil {
-			return nil, fmt.Errorf("compose: extracting counterexample: %w", err)
-		}
-		r.Witness = w
+}
+
+// verifyCompositional is the quotient-before-compose path: every entity LTS
+// is explored to closure and minimized with the weak-bisimulation quotient,
+// and the product is explored over the quotients. A complete, conformant
+// quotient-product verdict is final — the quotient is a congruence for the
+// product's operators, so the monolithic product is weakly bisimilar to the
+// quotient product, and a monolithic deadlock always projects to a quotient-
+// product deadlock. Everything else (a truncated entity, a truncated
+// quotient product, a non-conformant verdict) re-runs the monolithic path
+// and returns its report wholesale, counterexample included, with the
+// fallback reason recorded in Report.Compositional. The caller's trees are
+// never mutated by the compositional attempt (the service is explored on a
+// clone; entity providers explore clones), so the fallback sees them
+// pristine.
+func verifyCompositional(service *lotos.Spec, entities map[int]*lotos.Spec, opts VerifyOptions) (*Report, error) {
+	if opts.ObsDepth <= 0 {
+		opts.ObsDepth = DefaultObsDepth
 	}
+	if opts.TraceDiffLimit <= 0 {
+		opts.TraceDiffLimit = DefaultTraceDiffLimit
+	}
+	provider := opts.EntityProvider
+	if provider == nil {
+		provider = BuildEntityLTS
+	}
+
+	stats := &CompositionalStats{}
+	places := make([]int, 0, len(entities))
+	for p := range entities {
+		places = append(places, p)
+	}
+	sortInts(places)
+	ltss := make(map[int]*EntityLTS, len(places))
+	for _, p := range places {
+		el, err := provider(p, entities[p], opts.MaxStates)
+		if err != nil {
+			return nil, err
+		}
+		stat := EntityQuotientStat{
+			Place:            p,
+			ExactStates:      el.ExactStates,
+			ExactTransitions: el.ExactTransitions,
+			BuildNanos:       el.BuildNanos,
+			Reused:           el.Reused,
+		}
+		if el.Quotient != nil {
+			stat.QuotientStates = el.Quotient.NumStates()
+			stat.QuotientTransitions = el.Quotient.NumTransitions()
+		}
+		stats.Entities = append(stats.Entities, stat)
+		stats.BuildNanos += el.BuildNanos
+		if el.Reused {
+			stats.Reused++
+		}
+		if el.Truncated {
+			return fallbackMonolithic(service, entities, opts, stats,
+				fmt.Sprintf("entity %d exceeds the exploration cap", p))
+		}
+		ltss[p] = el
+	}
+
+	lim := lts.Limits{MaxStates: opts.MaxStates, MaxObsDepth: opts.ObsDepth}
+	// Explore the service on a clone: exploration resolves and numbers the
+	// tree in place, and the monolithic fallback needs the original.
+	sg, err := lts.ExploreSpec(lotos.CloneSpec(service), lim)
+	if err != nil {
+		return nil, fmt.Errorf("compose: exploring service: %w", err)
+	}
+	sys, err := NewCompositional(entities, ltss, Config{
+		ChannelCap: opts.ChannelCap,
+		Limits:     lim,
+		Parallel:   opts.Parallel,
+		Workers:    opts.Workers,
+		Faults:     opts.Faults,
+	})
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	cg, err := sys.Explore()
+	if err != nil {
+		return nil, fmt.Errorf("compose: exploring quotient product: %w", err)
+	}
+	stats.ProductNanos = time.Since(start).Nanoseconds()
+	stats.ProductStates = cg.NumStates()
+	stats.ProductTransitions = cg.NumTransitions()
+
+	r := &Report{
+		ServiceGraph:  sg,
+		ComposedGraph: cg,
+		ObsDepth:      opts.ObsDepth,
+		Faults:        opts.Faults,
+		Compositional: stats,
+	}
+	verdict(r, opts)
+	// An incomplete exploration is acceptable only when the truncation is
+	// depth-only: the monolithic product is explored to the same observable
+	// depth, the full products are weakly bisimilar (quotient congruence),
+	// and trace length is a weak-bisimulation invariant — so both paths cut
+	// the same bounded trace sets and skip the bisimulation check alike. A
+	// state-cap truncation instead means the quotient product was not
+	// covered, and nothing relates the partial graphs; fall back.
+	if cap := effectiveMaxStates(opts.MaxStates); cg.Truncated && cg.NumStates() >= cap {
+		return fallbackMonolithic(service, entities, opts, stats, "quotient product exceeds the state cap")
+	}
+	if !r.Ok() {
+		// Sound only in the conformant direction: the weak quotient can
+		// introduce a spurious deadlock (a pure-τ cycle collapses to a stuck
+		// class), and the fallback's witness refers to monolithic transition
+		// indices, which replay through the concrete interpreter.
+		return fallbackMonolithic(service, entities, opts, stats, "non-conformant; re-verified monolithically")
+	}
+	return r, nil
+}
+
+// effectiveMaxStates resolves the exploration state cap an explorer applies
+// for a MaxStates option (0 = the default cap).
+func effectiveMaxStates(maxStates int) int {
+	if maxStates <= 0 {
+		return lts.DefaultMaxStates
+	}
+	return maxStates
+}
+
+// MemoEntityProvider wraps an EntityProvider with a (place, maxStates)-keyed
+// memo for repeated verifications of ONE entity set — the fault matrix's
+// reuse pattern, where every cell composes the same entities under a
+// different medium. Cache hits return a shallow copy with Reused set and
+// BuildNanos zeroed (the artifact cost nothing this time); the quotient
+// graph is shared, which is safe because preset systems only read it. Not a
+// content-addressed cache: callers verifying different specs need their own
+// keying (see the facade's artifact cache).
+func MemoEntityProvider(next EntityProvider) EntityProvider {
+	type memoKey struct {
+		place     int
+		maxStates int
+	}
+	var mu sync.Mutex
+	memo := map[memoKey]*EntityLTS{}
+	return func(place int, sp *lotos.Spec, maxStates int) (*EntityLTS, error) {
+		k := memoKey{place, maxStates}
+		mu.Lock()
+		el, ok := memo[k]
+		mu.Unlock()
+		if ok {
+			hit := *el
+			hit.Reused = true
+			hit.BuildNanos = 0
+			return &hit, nil
+		}
+		el, err := next(place, sp, maxStates)
+		if err != nil {
+			return nil, err
+		}
+		mu.Lock()
+		memo[k] = el
+		mu.Unlock()
+		return el, nil
+	}
+}
+
+// fallbackMonolithic re-runs the monolithic path and returns its report
+// wholesale — verdict fields and counterexample byte-identical to a plain
+// Verify — with the compositional attempt's stats and the fallback reason
+// attached.
+func fallbackMonolithic(service *lotos.Spec, entities map[int]*lotos.Spec, opts VerifyOptions, stats *CompositionalStats, reason string) (*Report, error) {
+	stats.Fallback = reason
+	r, err := verifyMonolithic(service, entities, opts)
+	if err != nil {
+		return nil, err
+	}
+	r.Compositional = stats
 	return r, nil
 }
 
@@ -211,10 +426,16 @@ type MatrixCell struct {
 
 // VerifyMatrix runs Verify once per fault model and returns the cells in
 // input order. An empty or nil model list verifies the reliable medium only.
-// opts.Faults is overridden per cell.
+// opts.Faults is overridden per cell. Under opts.Compositional the entity
+// quotients are built once and shared across every cell — faults and
+// channel capacity live in the medium, so the entity artifacts are
+// identical for all fault models.
 func VerifyMatrix(service *lotos.Spec, entities map[int]*lotos.Spec, models []FaultModel, opts VerifyOptions) ([]MatrixCell, error) {
 	if len(models) == 0 {
 		models = []FaultModel{Reliable}
+	}
+	if opts.Compositional && opts.EntityProvider == nil {
+		opts.EntityProvider = MemoEntityProvider(BuildEntityLTS)
 	}
 	out := make([]MatrixCell, 0, len(models))
 	for _, fm := range models {

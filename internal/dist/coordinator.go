@@ -185,6 +185,7 @@ func New(cfg Config) (*Coordinator, error) {
 	}
 	c.mux.HandleFunc("POST /v1/derive", c.instrument("derive", c.handleForward))
 	c.mux.HandleFunc("POST /v1/verify", c.instrument("verify", c.handleForward))
+	c.mux.HandleFunc("POST /v1/delta-verify", c.instrument("deltaVerify", c.handleDeltaVerify))
 	c.mux.HandleFunc("POST /v1/explore", c.instrument("explore", c.handleForward))
 	c.mux.HandleFunc("POST /v1/batch", c.instrument("batch", c.handleBatch))
 	c.mux.HandleFunc("GET /v1/jobs/{id}", c.instrument("jobs", c.handleJob))
@@ -394,6 +395,41 @@ func (c *Coordinator) handleForward(w http.ResponseWriter, r *http.Request) int 
 	}
 	if async && res.status == http.StatusAccepted {
 		return c.relayJobAccepted(w, res)
+	}
+	return relay(w, res)
+}
+
+// handleDeltaVerify proxies a delta verification to the worker that owns
+// the BASE spec, not the edited one. The base digest is the worker-side
+// SpecDigest of the normalized base source, which equals the SpecKey the
+// base's /v1/verify was routed by — so the delta lands on the worker whose
+// spec index resolves the base and whose artifact cache already holds the
+// base's entity quotients, and the per-entity reuse compounds across the
+// fleet instead of washing out to a cold worker.
+func (c *Coordinator) handleDeltaVerify(w http.ResponseWriter, r *http.Request) int {
+	r.Body = http.MaxBytesReader(w, r.Body, c.cfg.MaxBodyBytes)
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return writeJSON(w, http.StatusRequestEntityTooLarge, service.ErrorResponse{Error: err.Error()})
+		}
+		return writeJSON(w, http.StatusBadRequest, service.ErrorResponse{Error: err.Error()})
+	}
+	var peek struct {
+		Base string `json:"base"`
+	}
+	if err := json.Unmarshal(body, &peek); err != nil {
+		return writeJSON(w, http.StatusBadRequest,
+			service.ErrorResponse{Error: fmt.Sprintf("bad request body: %v", err)})
+	}
+	if peek.Base == "" {
+		return writeJSON(w, http.StatusBadRequest,
+			service.ErrorResponse{Error: "missing base spec digest"})
+	}
+	res, err := c.forward(r.Context(), http.MethodPost, r.URL.Path, peek.Base, body)
+	if err != nil {
+		return writeForwardError(w, err)
 	}
 	return relay(w, res)
 }

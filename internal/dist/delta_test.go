@@ -1,0 +1,137 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"repro/internal/service"
+)
+
+// TestDeltaVerifyRoutesByBaseDigest asserts the fleet's entity-cache
+// affinity: a delta verification lands on the worker that verified its base
+// spec — that worker's spec index resolves the digest and its artifact
+// cache recalls the base's entity quotients — and the per-entity reuse is
+// visible in the response. Other workers never see the delta.
+func TestDeltaVerifyRoutesByBaseDigest(t *testing.T) {
+	f := newFleet(t, 3, service.Config{}, nil)
+
+	// Verify a handful of distinct base specs compositionally so they
+	// spread over the fleet, and remember each base's owner and digest.
+	type base struct {
+		digest string
+		owner  string
+		spec   string
+	}
+	var bases []base
+	for i := 0; i < 6; i++ {
+		spec := distinctSpec(i)
+		resp := post(t, f.ts.URL+"/v1/verify", service.VerifyRequest{
+			Spec:    spec,
+			Options: service.VerifyRequestOptions{Compositional: true},
+		})
+		worker := resp.Header.Get("X-Pgd-Worker")
+		body := readBody(t, resp)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("base %d status %d: %s", i, resp.StatusCode, body)
+		}
+		var out service.VerifyResponse
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatal(err)
+		}
+		if !out.Ok || out.SpecDigest == "" {
+			t.Fatalf("base %d: ok=%v digest=%q", i, out.Ok, out.SpecDigest)
+		}
+		bases = append(bases, base{digest: out.SpecDigest, owner: worker, spec: spec})
+	}
+
+	// Delta-verify an edit of each base: the request must land on the
+	// base's owner (base-digest routing == the base's own spec-shard key)
+	// and reuse the unchanged entity's cached artifact there.
+	for i, b := range bases {
+		edited := fmt.Sprintf("SPEC %s1; renamed2; exit ENDSPEC", "ev"+string(rune('a'+i)))
+		resp := post(t, f.ts.URL+"/v1/delta-verify", service.DeltaVerifyRequest{
+			Base: b.digest,
+			Spec: edited,
+		})
+		worker := resp.Header.Get("X-Pgd-Worker")
+		body := readBody(t, resp)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("delta %d status %d: %s", i, resp.StatusCode, body)
+		}
+		if worker != b.owner {
+			t.Errorf("delta %d routed to %s, base %s is owned by %s", i, worker, b.digest[:8], b.owner)
+		}
+		var out service.DeltaVerifyResponse
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatal(err)
+		}
+		if !out.Ok {
+			t.Errorf("delta %d failed:\n%s", i, out.Summary)
+		}
+		if len(out.Delta.Unchanged) != 1 || out.Delta.Unchanged[0] != 1 {
+			t.Errorf("delta %d = %s, want place 1 unchanged", i, out.DeltaSummary)
+		}
+		if out.Compositional == nil {
+			t.Fatalf("delta %d carries no compositional report", i)
+		}
+		reusedPlace1 := false
+		for _, e := range out.Compositional.Entities {
+			if e.Place == 1 && e.Reused {
+				reusedPlace1 = true
+			}
+		}
+		if !reusedPlace1 {
+			t.Errorf("delta %d rebuilt the unchanged entity — cache affinity broken", i)
+		}
+	}
+
+	// Every worker that owns bases saw artifact hits; no worker without a
+	// routed delta was touched by one.
+	deltas := f.coord.metrics.Snapshot().Endpoints["deltaVerify"]
+	if deltas.Requests != uint64(len(bases)) {
+		t.Errorf("coordinator saw %d delta requests, want %d", deltas.Requests, len(bases))
+	}
+	totalHits := uint64(0)
+	for _, s := range f.servers {
+		totalHits += s.ArtifactStats().EntityHits
+	}
+	if totalHits < uint64(len(bases)) {
+		t.Errorf("fleet artifact hits = %d, want at least one per delta (%d)", totalHits, len(bases))
+	}
+}
+
+// TestDeltaVerifyUnknownBaseAcrossFleet asserts the failure mode stays
+// crisp through the coordinator: an unregistered digest routes somewhere
+// deterministic and is answered 404 by that worker.
+func TestDeltaVerifyUnknownBaseAcrossFleet(t *testing.T) {
+	f := newFleet(t, 2, service.Config{}, nil)
+	resp := post(t, f.ts.URL+"/v1/delta-verify", service.DeltaVerifyRequest{
+		Base: service.SpecDigest("never verified"),
+		Spec: "SPEC a1; b2; exit ENDSPEC",
+	})
+	body := readBody(t, resp)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d, want 404: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("X-Pgd-Worker") == "" {
+		t.Error("404 did not come from a worker")
+	}
+}
+
+// TestDeltaVerifyMissingBaseRejectedAtCoordinator asserts the coordinator
+// rejects digestless requests itself — there is nothing to route by.
+func TestDeltaVerifyMissingBaseRejectedAtCoordinator(t *testing.T) {
+	f := newFleet(t, 2, service.Config{}, nil)
+	resp := post(t, f.ts.URL+"/v1/delta-verify", service.DeltaVerifyRequest{
+		Spec: "SPEC a1; b2; exit ENDSPEC",
+	})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	if resp.Header.Get("X-Pgd-Worker") != "" {
+		t.Error("rejection was forwarded to a worker instead of answered locally")
+	}
+}

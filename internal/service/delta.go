@@ -1,0 +1,181 @@
+package service
+
+import (
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"sync"
+
+	protoderive "repro"
+)
+
+// SpecDigest is the content address of one normalized service specification:
+// the hex SHA-256 of its pretty-printed form. Verify responses carry it so a
+// client can later reference the spec as a delta-verify base without
+// resubmitting it.
+func SpecDigest(normalizedSpec string) string {
+	sum := sha256.Sum256([]byte(normalizedSpec))
+	return hex.EncodeToString(sum[:])
+}
+
+// specEntry is one digest -> normalized-spec binding.
+type specEntry struct {
+	digest string
+	spec   string
+}
+
+// specIndex is the daemon's bounded digest -> normalized-spec store. Every
+// spec that passes through /v1/derive, /v1/verify or /v1/delta-verify is
+// recorded, so a client can delta-verify against any spec the daemon has
+// recently seen by digest alone.
+type specIndex struct {
+	mu      sync.Mutex
+	cap     int
+	ll      *list.List // front = most recently used; values are *specEntry
+	entries map[string]*list.Element
+}
+
+// defaultSpecIndexEntries bounds the spec index when the configuration
+// leaves it unset.
+const defaultSpecIndexEntries = 4096
+
+func newSpecIndex(cap int) *specIndex {
+	if cap <= 0 {
+		cap = defaultSpecIndexEntries
+	}
+	return &specIndex{cap: cap, ll: list.New(), entries: map[string]*list.Element{}}
+}
+
+func (ix *specIndex) put(digest, spec string) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if el, ok := ix.entries[digest]; ok {
+		ix.ll.MoveToFront(el)
+		return
+	}
+	ix.entries[digest] = ix.ll.PushFront(&specEntry{digest: digest, spec: spec})
+	for ix.ll.Len() > ix.cap {
+		oldest := ix.ll.Back()
+		ix.ll.Remove(oldest)
+		delete(ix.entries, oldest.Value.(*specEntry).digest)
+	}
+}
+
+func (ix *specIndex) get(digest string) (string, bool) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	el, ok := ix.entries[digest]
+	if !ok {
+		return "", false
+	}
+	ix.ll.MoveToFront(el)
+	return el.Value.(*specEntry).spec, true
+}
+
+func (ix *specIndex) len() int {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.ll.Len()
+}
+
+// DeltaVerifyRequest is the body of POST /v1/delta-verify: re-verify an
+// edited specification against a base the daemon has already seen, reusing
+// the cached per-entity artifacts of every unchanged place.
+type DeltaVerifyRequest struct {
+	// Base is the SpecDigest of the base specification (returned as
+	// specDigest by an earlier /v1/verify or /v1/delta-verify response).
+	Base string `json:"base"`
+	// Spec is the edited specification source.
+	Spec string `json:"spec"`
+	// Options are the verification options. Compositional is implied.
+	Options VerifyRequestOptions `json:"options"`
+}
+
+// DeltaVerifyResponse is the body of a successful delta verification: the
+// full verify verdict for the edited spec plus the entity-level delta
+// against the base.
+type DeltaVerifyResponse struct {
+	VerifyResponse
+	// BaseDigest echoes the base the delta was computed against.
+	BaseDigest string `json:"baseDigest"`
+	// Delta is the per-place difference of normalized entity behaviours:
+	// Unchanged places reuse cached artifacts, Changed/Added re-derive.
+	Delta protoderive.EntityDelta `json:"delta"`
+	// DeltaSummary renders the delta compactly ("3 unchanged, changed: [2]").
+	DeltaSummary string `json:"deltaSummary"`
+}
+
+func (s *Server) handleDeltaVerify(w http.ResponseWriter, r *http.Request) int {
+	var req DeltaVerifyRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		return writeError(w, err)
+	}
+	if req.Base == "" {
+		return writeError(w, badRequestError{fmt.Errorf("missing base spec digest")})
+	}
+	baseSpec, ok := s.specs.get(req.Base)
+	if !ok {
+		return writeJSON(w, http.StatusNotFound, ErrorResponse{
+			Error: "unknown base digest: verify or derive the base spec on this daemon first",
+		})
+	}
+	svc, err := protoderive.ParseService(req.Spec)
+	if err != nil {
+		return writeError(w, err)
+	}
+	if _, err := req.Options.faultModels(); err != nil {
+		return writeError(w, err)
+	}
+	// Delta verification is compositional by construction: the whole point
+	// is recalling the base's entity artifacts for the unchanged places.
+	req.Options.Compositional = true
+	normalized := svc.String()
+	s.specs.put(SpecDigest(normalized), normalized)
+
+	key := CacheKey("delta-verify", req.Base+"\x00"+normalized, req.Options.fingerprint())
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.SyncDeadline)
+	defer cancel()
+	val, outcome, err := s.compute(ctx, s.verifyPool, "deltaVerify", key, func() (any, error) {
+		return s.deltaVerifyResponse(req.Base, baseSpec, svc, req.Options)
+	})
+	if err != nil {
+		return writeError(w, err)
+	}
+	resp := *(val.(*DeltaVerifyResponse))
+	resp.Cached = outcome != OutcomeComputed
+	return writeJSON(w, http.StatusOK, resp)
+}
+
+// deltaVerifyResponse computes one delta verification: derive both sides,
+// diff the normalized entity behaviours, then verify the edited side
+// compositionally through the daemon's shared artifact cache — unchanged
+// entities are recalled, changed ones rebuilt.
+func (s *Server) deltaVerifyResponse(baseDigest, baseSpec string, svc *protoderive.Service, opts VerifyRequestOptions) (*DeltaVerifyResponse, error) {
+	baseSvc, err := protoderive.ParseService(baseSpec)
+	if err != nil {
+		return nil, fmt.Errorf("stored base spec no longer parses: %w", err)
+	}
+	baseProto, err := baseSvc.DeriveWithOptions(opts.facade())
+	if err != nil {
+		return nil, fmt.Errorf("base spec: %w", err)
+	}
+	editedProto, err := svc.DeriveWithOptions(opts.facade())
+	if err != nil {
+		return nil, err
+	}
+	delta := protoderive.DiffProtocols(baseProto, editedProto)
+
+	vresp, err := s.verifyResponse(svc, opts, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &DeltaVerifyResponse{
+		VerifyResponse: *vresp,
+		BaseDigest:     baseDigest,
+		Delta:          delta,
+		DeltaSummary:   delta.String(),
+	}, nil
+}

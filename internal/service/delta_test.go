@@ -1,0 +1,157 @@
+package service
+
+import (
+	"net/http"
+	"testing"
+)
+
+// editedSpec renames the gate at place 2 of validSpec: place 1's derived
+// entity is byte-identical, so a delta verification reuses its artifact.
+const editedSpec = "SPEC a1; c2; exit ENDSPEC"
+
+func TestDeltaVerifyReusesUnchangedEntities(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+
+	// Verify the base compositionally; the response names its digest and
+	// the verification warms the daemon's artifact cache.
+	resp := postJSON(t, ts.URL+"/v1/verify", VerifyRequest{
+		Spec:    validSpec,
+		Options: VerifyRequestOptions{Compositional: true},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("verify status %d", resp.StatusCode)
+	}
+	base := decode[VerifyResponse](t, resp)
+	if !base.Ok || base.SpecDigest == "" {
+		t.Fatalf("base verify: ok=%v digest=%q", base.Ok, base.SpecDigest)
+	}
+	if base.Compositional == nil {
+		t.Fatal("compositional verify carries no pipeline report")
+	}
+	for _, e := range base.Compositional.Entities {
+		if e.Reused {
+			t.Errorf("place %d reused on a cold daemon", e.Place)
+		}
+	}
+
+	// Delta-verify the edited spec against the base digest: place 1 is
+	// unchanged and its artifact must be recalled, place 2 rebuilt.
+	resp = postJSON(t, ts.URL+"/v1/delta-verify", DeltaVerifyRequest{
+		Base: base.SpecDigest,
+		Spec: editedSpec,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delta-verify status %d", resp.StatusCode)
+	}
+	out := decode[DeltaVerifyResponse](t, resp)
+	if !out.Ok {
+		t.Fatalf("delta verify failed:\n%s", out.Summary)
+	}
+	if out.BaseDigest != base.SpecDigest {
+		t.Errorf("baseDigest = %q, want %q", out.BaseDigest, base.SpecDigest)
+	}
+	if len(out.Delta.Unchanged) != 1 || out.Delta.Unchanged[0] != 1 ||
+		len(out.Delta.Changed) != 1 || out.Delta.Changed[0] != 2 {
+		t.Errorf("delta = %s, want 1 unchanged, changed: [2]", out.DeltaSummary)
+	}
+	if out.Compositional == nil {
+		t.Fatal("delta verify carries no compositional report")
+	}
+	reused := map[int]bool{}
+	for _, e := range out.Compositional.Entities {
+		reused[e.Place] = e.Reused
+	}
+	if !reused[1] {
+		t.Error("unchanged place 1 was rebuilt instead of recalled")
+	}
+	if reused[2] {
+		t.Error("changed place 2 was recalled instead of rebuilt")
+	}
+	if out.SpecDigest == base.SpecDigest {
+		t.Error("edited spec reports the base digest")
+	}
+
+	// The edited spec was indexed by the delta call, so it can serve as the
+	// next base — the iterative-editing chain.
+	resp = postJSON(t, ts.URL+"/v1/delta-verify", DeltaVerifyRequest{
+		Base: out.SpecDigest,
+		Spec: validSpec,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("chained delta-verify status %d", resp.StatusCode)
+	}
+	chained := decode[DeltaVerifyResponse](t, resp)
+	if len(chained.Delta.Unchanged) != 1 || chained.Delta.Unchanged[0] != 1 {
+		t.Errorf("chained delta = %s, want 1 unchanged", chained.DeltaSummary)
+	}
+
+	// The artifact cache observed hits, and the metrics page reports them.
+	if st := s.ArtifactStats(); st.EntityHits == 0 {
+		t.Errorf("artifact cache saw no hits: %+v", st)
+	}
+	page := decode[MetricsPage](t, mustGet(t, ts.URL+"/metrics"))
+	if page.Artifacts.EntityHits == 0 {
+		t.Errorf("metrics page reports no artifact hits: %+v", page.Artifacts)
+	}
+	if page.Compositional.Verifications == 0 || page.Compositional.EntitiesReused == 0 {
+		t.Errorf("compositional counters not recorded: %+v", page.Compositional)
+	}
+	if page.CompositionalReuseRatio <= 0 {
+		t.Errorf("reuse ratio = %v, want > 0", page.CompositionalReuseRatio)
+	}
+	if ep, ok := page.Endpoints["deltaVerify"]; !ok || ep.Requests != 2 {
+		t.Errorf("deltaVerify endpoint metrics = %+v", page.Endpoints["deltaVerify"])
+	}
+}
+
+func TestDeltaVerifyUnknownBase(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp := postJSON(t, ts.URL+"/v1/delta-verify", DeltaVerifyRequest{
+		Base: SpecDigest("never seen"),
+		Spec: validSpec,
+	})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestDeltaVerifyMissingBase(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp := postJSON(t, ts.URL+"/v1/delta-verify", DeltaVerifyRequest{Spec: validSpec})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestDeltaVerifyCachedOnRepeat(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	base := decode[VerifyResponse](t, postJSON(t, ts.URL+"/v1/verify", VerifyRequest{Spec: validSpec}))
+	req := DeltaVerifyRequest{Base: base.SpecDigest, Spec: editedSpec}
+	first := decode[DeltaVerifyResponse](t, postJSON(t, ts.URL+"/v1/delta-verify", req))
+	if first.Cached {
+		t.Error("first delta-verify reported cached")
+	}
+	second := decode[DeltaVerifyResponse](t, postJSON(t, ts.URL+"/v1/delta-verify", req))
+	if !second.Cached {
+		t.Error("repeated delta-verify not served from cache")
+	}
+}
+
+// TestSpecIndexBounded checks the digest index's LRU bound.
+func TestSpecIndexBounded(t *testing.T) {
+	ix := newSpecIndex(2)
+	ix.put("a", "spec a")
+	ix.put("b", "spec b")
+	ix.put("c", "spec c")
+	if ix.len() != 2 {
+		t.Fatalf("index holds %d entries, capacity is 2", ix.len())
+	}
+	if _, ok := ix.get("a"); ok {
+		t.Error("oldest entry survived past capacity")
+	}
+	if got, ok := ix.get("c"); !ok || got != "spec c" {
+		t.Errorf("get(c) = %q, %v", got, ok)
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	protoderive "repro"
 )
 
 // latencyBucketsMS are the upper bounds (milliseconds, inclusive) of the
@@ -110,6 +112,33 @@ type CompileCounters struct {
 	Transitions uint64 `json:"transitions"`
 }
 
+// CompositionalCounters aggregates the quotient-before-compose pipeline's
+// work across every verification the daemon computed with the compositional
+// option (cache hits and joined singleflight calls do not re-count).
+type CompositionalCounters struct {
+	// Verifications counts computed compositional verifications;
+	// Fallbacks the ones whose verdict came from the monolithic path.
+	Verifications uint64 `json:"verifications"`
+	Fallbacks     uint64 `json:"fallbacks"`
+	// EntitiesBuilt / EntitiesReused count entity quotients explored fresh
+	// versus recalled from the artifact cache.
+	EntitiesBuilt  uint64 `json:"entitiesBuilt"`
+	EntitiesReused uint64 `json:"entitiesReused"`
+	// BuildMS sums entity explore+quotient wall time; ProductMS sums
+	// product-over-quotients exploration time.
+	BuildMS   float64 `json:"buildMs"`
+	ProductMS float64 `json:"productMs"`
+}
+
+// ReuseRatio is the fraction of entity artifacts recalled from cache.
+func (c CompositionalCounters) ReuseRatio() float64 {
+	total := c.EntitiesBuilt + c.EntitiesReused
+	if total == 0 {
+		return 0
+	}
+	return float64(c.EntitiesReused) / float64(total)
+}
+
 // RuntimeStats is a point-in-time snapshot of the Go runtime's health
 // gauges, exported on /metrics so a fleet coordinator can watch each
 // worker's memory and scheduler pressure alongside the latency histograms.
@@ -160,11 +189,27 @@ func ReadRuntimeStats() RuntimeStats {
 // error totals, in-flight gauges, latency histograms, and the equivalence
 // engine's phase counters. All methods are safe for concurrent use.
 type Metrics struct {
-	mu        sync.Mutex
-	endpoints map[string]*endpointMetrics
-	equiv     EquivCounters
-	compile   CompileCounters
-	start     time.Time
+	mu            sync.Mutex
+	endpoints     map[string]*endpointMetrics
+	equiv         EquivCounters
+	compile       CompileCounters
+	compositional CompositionalCounters
+	start         time.Time
+}
+
+// RecordCompositional folds one compositional verification's pipeline report
+// into the aggregate.
+func (m *Metrics) RecordCompositional(rep *protoderive.CompositionalReport) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.compositional.Verifications++
+	if rep.Fallback != "" {
+		m.compositional.Fallbacks++
+	}
+	m.compositional.EntitiesBuilt += uint64(len(rep.Entities) - rep.Reused)
+	m.compositional.EntitiesReused += uint64(rep.Reused)
+	m.compositional.BuildMS += float64(rep.BuildNanos) / 1e6
+	m.compositional.ProductMS += float64(rep.ProductNanos) / 1e6
 }
 
 // RecordCompile folds one compile report into the aggregate.
@@ -237,6 +282,11 @@ type MetricsSnapshot struct {
 	// Compile aggregates the FSM compiler's counters over every computed
 	// derivation that requested compilation.
 	Compile CompileCounters `json:"compile"`
+	// Compositional aggregates the quotient-before-compose pipeline's
+	// counters over every computed compositional verification, including
+	// the entity-artifact reuse ratio.
+	Compositional           CompositionalCounters `json:"compositional"`
+	CompositionalReuseRatio float64               `json:"compositionalReuseRatio"`
 }
 
 // Snapshot returns a consistent copy of every counter.
@@ -244,10 +294,12 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	out := MetricsSnapshot{
-		UptimeSeconds: time.Since(m.start).Seconds(),
-		Endpoints:     make(map[string]EndpointStats, len(m.endpoints)),
-		Equiv:         m.equiv,
-		Compile:       m.compile,
+		UptimeSeconds:           time.Since(m.start).Seconds(),
+		Endpoints:               make(map[string]EndpointStats, len(m.endpoints)),
+		Equiv:                   m.equiv,
+		Compile:                 m.compile,
+		Compositional:           m.compositional,
+		CompositionalReuseRatio: m.compositional.ReuseRatio(),
 	}
 	for name, ep := range m.endpoints {
 		st := EndpointStats{

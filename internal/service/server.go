@@ -21,6 +21,8 @@
 //	                         (+ per-entity FSM compilation with "compile")
 //	POST /v1/verify          spec -> derive + compose + equivalence verdict
 //	POST /v1/verify?async=1  same, as an async job -> {"jobId": ...}
+//	POST /v1/delta-verify    base digest + edited spec -> entity delta +
+//	                         compositional verify reusing cached artifacts
 //	POST /v1/explore         spec -> bounded LTS exploration report
 //	GET  /v1/jobs/{id}       async job status/result
 //	GET  /v1/jobs/{id}/events  job progress as server-sent events
@@ -64,6 +66,13 @@ type Config struct {
 	MaxJobs int
 	// MaxBodyBytes caps request bodies (0 = 1 MiB).
 	MaxBodyBytes int64
+	// ArtifactEntries bounds the content-addressed per-entity artifact
+	// cache backing compositional and delta verification
+	// (0 = protoderive.DefaultArtifactEntries).
+	ArtifactEntries int
+	// SpecIndexEntries bounds the digest -> normalized-spec index that
+	// resolves delta-verify base references (0 = 4096).
+	SpecIndexEntries int
 	// SSEKeepalive is the comment-line heartbeat interval of the job event
 	// stream (0 = 15s). Keepalives let proxies and clients distinguish an
 	// idle stream from a dead one.
@@ -102,8 +111,13 @@ type Server struct {
 	metrics    *Metrics
 	derivePool *Pool
 	verifyPool *Pool
-	mux        *http.ServeMux
-	start      time.Time
+	// arts is the daemon-wide content-addressed cache of per-entity
+	// pipeline artifacts (quotiented entity LTSs, compiled machines);
+	// specs resolves delta-verify base digests to normalized spec text.
+	arts  *protoderive.ArtifactCache
+	specs *specIndex
+	mux   *http.ServeMux
+	start time.Time
 }
 
 // New builds a Server from the configuration.
@@ -116,11 +130,14 @@ func New(cfg Config) *Server {
 		metrics:    NewMetrics(),
 		derivePool: NewPool(cfg.DeriveWorkers),
 		verifyPool: NewPool(cfg.VerifyWorkers),
+		arts:       protoderive.NewArtifactCache(cfg.ArtifactEntries),
+		specs:      newSpecIndex(cfg.SpecIndexEntries),
 		mux:        http.NewServeMux(),
 		start:      time.Now(),
 	}
 	s.mux.HandleFunc("POST /v1/derive", s.instrument("derive", s.handleDerive))
 	s.mux.HandleFunc("POST /v1/verify", s.instrument("verify", s.handleVerify))
+	s.mux.HandleFunc("POST /v1/delta-verify", s.instrument("deltaVerify", s.handleDeltaVerify))
 	s.mux.HandleFunc("POST /v1/explore", s.instrument("explore", s.handleExplore))
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("jobs", s.handleJob))
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.instrument("jobEvents", s.handleJobEvents))
@@ -137,6 +154,9 @@ func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
 
 // JobStats exposes the job counters.
 func (s *Server) JobStats() JobStats { return s.jobs.Stats() }
+
+// ArtifactStats exposes the per-entity artifact cache counters.
+func (s *Server) ArtifactStats() protoderive.ArtifactStats { return s.arts.Stats() }
 
 // --- request / response types ----------------------------------------------
 
@@ -212,6 +232,11 @@ type VerifyRequestOptions struct {
 	// TraceDiffLimit caps the diagnostic example traces per side on a
 	// failed trace comparison (0 = default 5).
 	TraceDiffLimit int `json:"traceDiffLimit,omitempty"`
+	// Compositional verifies quotient-before-compose: each entity LTS is
+	// minimized before the product is built, with per-entity artifacts
+	// recalled from the daemon's shared content-addressed cache. Verdicts
+	// match the monolithic path.
+	Compositional bool `json:"compositional,omitempty"`
 }
 
 // faultModels parses and deduplicates the requested fault models.
@@ -236,9 +261,9 @@ func (o VerifyRequestOptions) faultFingerprint() string {
 }
 
 func (o VerifyRequestOptions) fingerprint() string {
-	return fmt.Sprintf("%s cap=%d obs=%d max=%d par=%t w=%d diff=%d faults=%s",
+	return fmt.Sprintf("%s cap=%d obs=%d max=%d par=%t w=%d diff=%d comp=%t faults=%s",
 		o.DeriveRequestOptions.fingerprint(), o.ChannelCap, o.ObsDepth, o.MaxStates, o.Parallel, o.Workers,
-		o.TraceDiffLimit, o.faultFingerprint())
+		o.TraceDiffLimit, o.Compositional, o.faultFingerprint())
 }
 
 // VerifyRequest is the body of POST /v1/verify.
@@ -260,6 +285,9 @@ type VerifyResponse struct {
 	ComposedStates int    `json:"composedStates"`
 	MessageCount   int    `json:"messageCount"`
 	Summary        string `json:"summary"`
+	// SpecDigest is the content address of the normalized specification —
+	// pass it as "base" to /v1/delta-verify after editing the spec.
+	SpecDigest string `json:"specDigest"`
 	// Witness is the shortest replayable counterexample when the
 	// reliable-medium verification fails.
 	Witness *protoderive.Witness `json:"witness,omitempty"`
@@ -269,6 +297,11 @@ type VerifyResponse struct {
 	// Equiv carries the equivalence engine's work counters for this check
 	// (absent when exploration truncated and the bisimulation was skipped).
 	Equiv *protoderive.EquivStats `json:"equiv,omitempty"`
+	// Compositional reports the quotient-before-compose pipeline of the
+	// reliable-medium check (entity quotient sizes, per-phase times,
+	// artifact reuse, fallback reason). Present only for compositional
+	// verifications.
+	Compositional *protoderive.CompositionalReport `json:"compositional,omitempty"`
 }
 
 // FaultMatrixCell is one fault-matrix entry of a verify response.
@@ -336,6 +369,10 @@ type MetricsPage struct {
 	Cache CacheStats           `json:"cache"`
 	Pools map[string]PoolStats `json:"pools"`
 	Jobs  JobStats             `json:"jobs"`
+	// Artifacts counts the content-addressed per-entity artifact cache's
+	// entries and hit/miss totals (quotiented entity LTSs and compiled
+	// machines shared across specs, fault models and delta verifications).
+	Artifacts protoderive.ArtifactStats `json:"artifacts"`
 	// Runtime samples the Go runtime's health gauges at scrape time.
 	Runtime RuntimeStats `json:"runtime"`
 }
@@ -433,7 +470,9 @@ func (s *Server) handleDerive(w http.ResponseWriter, r *http.Request) int {
 	if err != nil {
 		return writeError(w, err)
 	}
-	key := CacheKey("derive", svc.String(), req.Options.fingerprint())
+	normalized := svc.String()
+	s.specs.put(SpecDigest(normalized), normalized)
+	key := CacheKey("derive", normalized, req.Options.fingerprint())
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.SyncDeadline)
 	defer cancel()
 	val, outcome, err := s.compute(ctx, s.derivePool, "derive", key, func() (any, error) {
@@ -493,7 +532,9 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) int {
 	if _, err := req.Options.faultModels(); err != nil {
 		return writeError(w, err)
 	}
-	key := CacheKey("verify", svc.String(), req.Options.fingerprint())
+	normalized := svc.String()
+	s.specs.put(SpecDigest(normalized), normalized)
+	key := CacheKey("verify", normalized, req.Options.fingerprint())
 
 	if async := r.URL.Query().Get("async"); async == "1" || async == "true" {
 		id := s.jobs.Create("verify")
@@ -560,6 +601,8 @@ func (s *Server) verifyResponse(svc *protoderive.Service, opts VerifyRequestOpti
 		Parallel:       opts.Parallel,
 		Workers:        opts.Workers,
 		TraceDiffLimit: opts.TraceDiffLimit,
+		Compositional:  opts.Compositional,
+		Artifacts:      s.arts,
 	}
 	progress("verify reliable")
 	rep, err := proto.Verify(vo)
@@ -569,6 +612,9 @@ func (s *Server) verifyResponse(svc *protoderive.Service, opts VerifyRequestOpti
 	if rep.Equiv != nil {
 		s.metrics.RecordEquiv(rep.Equiv.TauSCCs, rep.Equiv.SaturationEdges,
 			rep.Equiv.RefinementRounds, rep.Equiv.SaturateNanos, rep.Equiv.RefineNanos)
+	}
+	if rep.Compositional != nil {
+		s.metrics.RecordCompositional(rep.Compositional)
 	}
 	resp := &VerifyResponse{
 		Ok:             rep.Ok,
@@ -581,8 +627,10 @@ func (s *Server) verifyResponse(svc *protoderive.Service, opts VerifyRequestOpti
 		ComposedStates: rep.ComposedStates,
 		MessageCount:   proto.MessageCount(),
 		Summary:        rep.Summary,
+		SpecDigest:     SpecDigest(svc.String()),
 		Witness:        rep.Witness,
 		Equiv:          rep.Equiv,
+		Compositional:  rep.Compositional,
 	}
 	models, err := opts.faultModels()
 	if err != nil {
@@ -737,7 +785,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) int {
 			"derive": s.derivePool.Stats(),
 			"verify": s.verifyPool.Stats(),
 		},
-		Jobs:    s.jobs.Stats(),
-		Runtime: ReadRuntimeStats(),
+		Jobs:      s.jobs.Stats(),
+		Artifacts: s.arts.Stats(),
+		Runtime:   ReadRuntimeStats(),
 	})
 }

@@ -278,6 +278,11 @@ type DeriveOptions struct {
 type Protocol struct {
 	d *core.Derivation
 
+	// arts, when set (UseArtifacts), is the shared content-addressed
+	// artifact cache: compositional verification recalls entity quotients
+	// through it, and fleet compilation recalls per-entity machines.
+	arts *ArtifactCache
+
 	// Compiled machine fleets, cached per state cap: compilation explores
 	// and minimizes every entity, so repeated Simulate/ReplayWith calls on
 	// one Protocol — the steady state of the daemon — must not redo it.
@@ -300,7 +305,12 @@ func (p *Protocol) fleet(maxStates int) *fsm.Fleet {
 	}
 	// fsm.Compile clones each entity before exploring, so the shared trees
 	// are not mutated.
-	f := fsm.CompileEntities(p.d.Entities, fsm.Config{MaxStates: maxStates})
+	var f *fsm.Fleet
+	if p.arts != nil {
+		f = p.arts.fleetFor(p.d.Entities, maxStates)
+	} else {
+		f = fsm.CompileEntities(p.d.Entities, fsm.Config{MaxStates: maxStates})
+	}
 	if p.fleets == nil {
 		p.fleets = map[int]*fsm.Fleet{}
 	}
@@ -446,6 +456,17 @@ type VerifyOptions struct {
 	// TraceDiffLimit caps the diagnostic example traces collected per side
 	// on a failed trace comparison (default 5).
 	TraceDiffLimit int
+	// Compositional verifies quotient-before-compose: each entity LTS is
+	// minimized with the congruence-preserving weak-bisimulation quotient
+	// before the product is built. Verdicts match the monolithic path (a
+	// non-conformant or state-capped compositional attempt re-verifies
+	// monolithically, counterexample included); the report carries the
+	// per-phase pipeline numbers in VerifyReport.Compositional.
+	Compositional bool
+	// Artifacts, with Compositional, recalls entity quotients from a shared
+	// content-addressed cache instead of rebuilding them. Nil falls back to
+	// the protocol's attached cache (UseArtifacts), then to uncached builds.
+	Artifacts *ArtifactCache
 }
 
 // VerifyReport is the verification verdict for the Section-5 correctness
@@ -478,6 +499,10 @@ type VerifyReport struct {
 	// check. Nil when the check was skipped (truncated state space — the
 	// verdict then rests on the bounded weak-trace comparison).
 	Equiv *EquivStats
+	// Compositional reports the quotient-before-compose pipeline (entity
+	// quotient sizes, per-phase times, artifact reuse, fallback reason).
+	// Nil unless the verification ran with VerifyOptions.Compositional.
+	Compositional *CompositionalReport `json:",omitempty"`
 }
 
 // WitnessStep is one transition of a counterexample: an entity move (its
@@ -573,6 +598,23 @@ type EquivStats struct {
 	RefineNanos   int64 `json:"refineNanos"`
 }
 
+// entityProvider resolves the entity-artifact source of a compositional
+// verification: the per-call cache first, then the protocol's attached cache
+// (UseArtifacts), then nil — uncached per-call builds.
+func (p *Protocol) entityProvider(o VerifyOptions) compose.EntityProvider {
+	if !o.Compositional {
+		return nil
+	}
+	cache := o.Artifacts
+	if cache == nil {
+		cache = p.arts
+	}
+	if cache == nil {
+		return nil
+	}
+	return cache.provider()
+}
+
 // cloneEntities deep-copies an entity map. Exploration resolves and numbers
 // specification trees in place, so the facade hands the implementation
 // packages private clones: concurrent Verify/Simulate/Optimize calls on one
@@ -607,6 +649,8 @@ func (p *Protocol) Verify(opts *VerifyOptions) (out *VerifyReport, err error) {
 		Workers:        o.Workers,
 		Faults:         o.Faults.compose(),
 		TraceDiffLimit: o.TraceDiffLimit,
+		Compositional:  o.Compositional,
+		EntityProvider: p.entityProvider(o),
 	})
 	if err != nil {
 		return nil, err
@@ -628,6 +672,7 @@ func verifyReport(rep *compose.Report) *VerifyReport {
 		Summary:        rep.Summary(),
 		Faults:         rep.Faults.String(),
 		Witness:        witnessReport(rep.Witness),
+		Compositional:  compositionalReport(rep.Compositional),
 	}
 	if rep.Equiv != nil {
 		out.Equiv = &EquivStats{
@@ -674,6 +719,8 @@ func (p *Protocol) VerifyMatrix(models []FaultModel, opts *VerifyOptions) (cells
 		Parallel:       o.Parallel,
 		Workers:        o.Workers,
 		TraceDiffLimit: o.TraceDiffLimit,
+		Compositional:  o.Compositional,
+		EntityProvider: p.entityProvider(o),
 	})
 	if err != nil {
 		return nil, err

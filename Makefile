@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check fuzz-smoke fault-matrix-smoke compositional-smoke cluster-smoke dist-smoke run-pgd bench bench-baseline bench-server bench-equiv bench-equiv-record bench-fsm bench-fsm-record bench-cluster bench-cluster-record bench-dist bench-dist-record bench-compositional bench-compositional-record
+.PHONY: build test check fuzz-smoke fault-matrix-smoke compositional-smoke reduction-smoke cluster-smoke dist-smoke run-pgd bench bench-baseline bench-server bench-equiv bench-equiv-record bench-fsm bench-fsm-record bench-cluster bench-cluster-record bench-dist bench-dist-record bench-compositional bench-compositional-record bench-reduction bench-reduction-record
 
 # guard-record refuses to overwrite a committed BENCH_*.json file: each one
 # is the performance record of the PR that introduced its lane, captured on
@@ -29,6 +29,7 @@ check:
 	$(GO) test -race ./internal/sim/ ./internal/medium/ ./internal/compose/ ./internal/lts/ ./internal/service/ ./cmd/pgd/
 	$(MAKE) fault-matrix-smoke
 	$(MAKE) compositional-smoke
+	$(MAKE) reduction-smoke
 	$(MAKE) cluster-smoke
 	$(MAKE) dist-smoke
 	$(MAKE) fuzz-smoke
@@ -47,6 +48,17 @@ fault-matrix-smoke:
 # concurrent access) and the entity-delta differ.
 compositional-smoke:
 	$(GO) test -race -run '^(TestCorpusCompositionalDifferential|TestArtifact|TestFleetSharesCachedMachines|TestDiffProtocols)' -count=1 .
+
+# reduction-smoke is the reduction-soundness gate: the whole corpus verified
+# unreduced and under every reduction set (POR, symmetry, spill, all) across
+# reliable and faulty media with verdicts compared cell by cell and every
+# reduced counterexample replayed; the three exploration engines (serial,
+# parallel, out-of-core) compared byte for byte within one reduction set;
+# block-permutation invariance; and the tentpole acceptance run —
+# multiinstance explored to completion under symmetry inside a budget its
+# unreduced product overflows. All under the race detector.
+reduction-smoke:
+	$(GO) test -race -run '^(TestCorpusReductionDifferential|TestCorpusSerialParallelSpilledAgree|TestPermutationInvariance|TestReductionPermutationRandomized|TestMultiinstanceCompletesUnderSymmetry)$$' -count=1 .
 
 # cluster-smoke is the fleet-simulator gate: the cluster engine and its CLI
 # under the race detector, then the small scenario run twice with
@@ -77,6 +89,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime 5s ./internal/lotos
 	$(GO) test -run '^$$' -fuzz '^FuzzDerive$$' -fuzztime 5s .
 	$(GO) test -run '^$$' -fuzz '^FuzzVerifyFaults$$' -fuzztime 5s .
+	$(GO) test -run '^$$' -fuzz '^FuzzExploreReduced$$' -fuzztime 5s .
 	$(GO) test -run '^$$' -fuzz '^FuzzCompile$$' -fuzztime 5s ./internal/fsm
 
 # run-pgd starts the derivation daemon on :8080 (override with ARGS).
@@ -175,3 +188,23 @@ bench-compositional:
 bench-compositional-record:
 	$(call guard-record,BENCH_PR8.json,bench-compositional-record)
 	$(GO) test -run '^$$' -bench '^(BenchmarkCompositionalVerify|BenchmarkDeltaVerify)$$' -benchtime 3x -benchmem -json . | tee BENCH_PR8.json
+
+# bench-reduction sweeps the reduction ablation: the exact full state space
+# of each symmetric corpus shape explored unreduced, under POR, POR+symmetry
+# and the whole out-of-core stack (the per-op `states` metric is the result
+# — the time ratios follow the state-count ratios), the big-k scaling lane
+# (k identical relay instances explored to completion with the spilling
+# visited index held at a 1 MiB budget; `peak_mem_bytes` is the residency
+# evidence), and the end-to-end facade verification of multiinstance with
+# and without symmetry. Also the CI smoke (benchtime=1x, must complete).
+bench-reduction:
+	$(GO) test -run '^$$' -bench '^BenchmarkReduction(Explore|BigK|Verify)$$' -benchtime $(or $(BENCHTIME),1x) -benchmem .
+
+# bench-reduction-record writes the PR 9 performance record: a note line
+# first (what the big-k lane's bounded-memory claim covers — the visited
+# index; BFS frontiers are level-local and not under the budget), then the
+# go-test JSON stream of the ablation sweep.
+bench-reduction-record:
+	$(call guard-record,BENCH_PR9.json,bench-reduction-record)
+	(echo '{"note":"peak_mem_bytes is the spilling visited-index residency (budget 1 MiB + at most one entry); BFS frontier memory is level-local and outside the budget. multiinstance: 129665 concrete states, 60565 symmetry orbits. big-k relay at k=10: 335369 orbit states over a concrete space >10^9 interleavings, explored to completion.","host":"'"$$(uname -sr)"'","cpus":'"$$(nproc)"'}' ; \
+	 $(GO) test -run '^$$' -bench '^BenchmarkReduction(Explore|BigK|Verify)$$' -benchtime 1x -benchmem -json .) | tee BENCH_PR9.json

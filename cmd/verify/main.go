@@ -22,6 +22,11 @@
 //	-compositional  minimize each entity LTS (weak-bisimulation quotient)
 //	              before composing; same verdicts, smaller product
 //	              (non-conformant or capped attempts re-verify monolithically)
+//	-reductions S reduction set for the product exploration: "default" (POR
+//	              only), "none", "all", or "+"-joined por/symmetry/spill;
+//	              every set is verdict-preserving (symmetry-reduced failures
+//	              re-verify unreduced for a concrete counterexample)
+//	-spill-budget N  in-memory visited-index byte budget for "spill"
 //	-faults LIST  additionally verify under medium fault models (e.g.
 //	              "loss,dup,reorder" or "loss+dup"); prints a fault matrix
 //	              and the shortest replayable counterexample per failed cell
@@ -71,6 +76,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	handshake := fs.Bool("handshake", false, "use the Section-3.3 request/acknowledge interrupt implementation")
 	parallel := fs.Bool("parallel", false, "explore the composed state space with one worker per CPU")
 	compositional := fs.Bool("compositional", false, "minimize each entity LTS before composing (quotient-before-compose)")
+	reductions := fs.String("reductions", "", "reduction set for the product exploration: default, none, all, or +-joined por/symmetry/spill")
+	spillBudget := fs.Int64("spill-budget", 0, "in-memory visited-index budget in bytes for the spill reduction (0 = default)")
 	stats := fs.Bool("stats", false, "print equivalence-engine work counters")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: verify [flags] service.spec\n")
@@ -104,6 +111,11 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "verify:", err)
 		return cli.ExitUsage
 	}
+	red, err := compose.ParseReductions(*reductions)
+	if err != nil {
+		fmt.Fprintln(stderr, "verify:", err)
+		return cli.ExitUsage
+	}
 	opts := compose.VerifyOptions{
 		ChannelCap:     *chanCap,
 		ObsDepth:       *depth,
@@ -111,6 +123,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		Parallel:       *parallel,
 		TraceDiffLimit: *diffLimit,
 		Compositional:  *compositional,
+		Reductions:     red,
+		SpillBudget:    *spillBudget,
 	}
 	rep, err := compose.Verify(d.Service.Spec, d.Entities, opts)
 	if err != nil {
@@ -230,6 +244,22 @@ func printStats(w io.Writer, rep *compose.Report) {
 			float64(c.BuildNanos)/1e6, c.Reused, len(c.Entities), 100*c.ReuseRatio())
 		if c.Fallback != "" {
 			fmt.Fprintf(w, "compositional: fell back to monolithic verification: %s\n", c.Fallback)
+		}
+	}
+	if ri := rep.Reduction; ri != nil {
+		fmt.Fprintf(w, "reductions: %s", ri.Enabled)
+		if ri.SymmetryColumns > 0 {
+			fmt.Fprintf(w, ", %d symmetric columns, %d orbits collapsed", ri.SymmetryColumns, ri.OrbitsCollapsed)
+		}
+		if ri.AmpleHits > 0 {
+			fmt.Fprintf(w, ", %d ample hits", ri.AmpleHits)
+		}
+		if ri.SpillRuns > 0 {
+			fmt.Fprintf(w, ", %d runs spilled (%d bytes, peak mem %d)", ri.SpillRuns, ri.SpilledBytes, ri.PeakMemBytes)
+		}
+		fmt.Fprintln(w)
+		if ri.Fallback != "" {
+			fmt.Fprintf(w, "reductions: %s\n", ri.Fallback)
 		}
 	}
 	if rep.Equiv == nil {

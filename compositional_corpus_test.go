@@ -29,10 +29,10 @@ func TestCorpusCompositionalDifferential(t *testing.T) {
 		for _, chanCap := range []int{1, 2} {
 			opts := matrixOpts
 			opts.ChannelCap = chanCap
-			if name == "multiinstance" {
+			if name == "multiinstance" || name == "multiring" {
 				// Same budget trick as the monolithic matrix test: every
-				// multiinstance cell overflows any affordable monolithic
-				// budget, so keep the comparison cheap.
+				// multiinstance/multiring cell overflows any affordable
+				// monolithic budget, so keep the comparison cheap.
 				opts.MaxStates = 4000
 			}
 			mono, err := proto.VerifyMatrix(matrixModels, &opts)

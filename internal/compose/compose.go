@@ -38,6 +38,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/lotos"
@@ -55,10 +56,23 @@ type Config struct {
 	ChannelCap int
 	// Limits bounds the exploration of the product state space.
 	Limits lts.Limits
-	// NoReduction disables the partial-order reduction (see source.Next)
-	// and explores every interleaving. Exponentially slower; kept for the
-	// reduction-soundness tests and the ablation benchmark.
+	// Reductions selects the state-space reductions (POR, symmetry, disk
+	// spilling) applied during exploration. The zero value selects the
+	// default set (POR only); RedNone selects none. See Reductions.
+	Reductions Reductions
+	// NoReduction disables every reduction and explores every interleaving.
+	// Exponentially slower; kept for the reduction-soundness tests and the
+	// ablation benchmark.
+	//
+	// Deprecated: set Reductions to RedNone instead. Ignored when Reductions
+	// is non-zero.
 	NoReduction bool
+	// SpillBudget bounds the in-memory visited index (in bytes) when the
+	// RedSpill reduction is enabled; past it, sorted key runs spill to temp
+	// files. 0 selects lts.DefaultSpillBudget.
+	SpillBudget int64
+	// SpillDir is the directory for spilled runs ("" = the OS temp dir).
+	SpillDir string
 	// Parallel explores the product with the level-synchronous parallel
 	// BFS (lts.ExploreSourceParallel) instead of the serial explorer. The
 	// resulting graph has the same state-key set and weakly bisimilar
@@ -89,6 +103,17 @@ type System struct {
 	envs     []*lts.Env  // indexed like Places; nil for preset systems
 	placeIdx map[int]int // place number -> index in Places
 	cfg      Config
+	// red is the resolved reduction set (Config.effectiveReductions); sym is
+	// the detected instance symmetry, nil when RedSymmetry is off or no
+	// symmetry exists.
+	red Reductions
+	sym *symmetry
+	// Reduction telemetry. The counters are atomic because the parallel
+	// explorer's workers share the system; spillStats is written once by
+	// Explore (single-threaded) after the spilling explorer returns.
+	orbitsCollapsed atomic.Int64
+	ampleHits       atomic.Int64
+	spillStats      *lts.SpillStats
 	// preset marks a system whose local tables were preloaded from quotient
 	// graphs (NewCompositional): every local state is already derived, state
 	// ids mirror the quotient graphs' state numbering (0 = initial class),
@@ -105,9 +130,10 @@ type System struct {
 	mu     sync.RWMutex
 	intern []map[string]int32 // place idx -> canon -> local id
 	local  [][]localState     // place idx -> local id -> state
-	msgIDs map[message]int32  // message -> id
-	msgs   []message          // id -> message (diagnostics, string keys)
-	msgSum [][16]byte         // id -> content digest
+	msgIDs  map[message]int32 // message -> id
+	msgs    []message         // id -> message (diagnostics, string keys)
+	msgSum  [][16]byte        // id -> content digest
+	msgMeta []msgMeta         // id -> symmetry classification (sym != nil only)
 }
 
 // localState is one interned entity-local state. Transitions are derived
@@ -120,6 +146,10 @@ type localState struct {
 	sum     [16]byte
 	derived bool
 	trans   []cachedTrans
+	// symCols holds the per-column renamed-canonical digests under symmetry
+	// reduction (nil when symmetry is off or the state does not decompose
+	// into the detected columns).
+	symCols [][16]byte
 }
 
 // cachedTrans is an entity-local transition targeting an interned state,
@@ -148,7 +178,11 @@ func (s *System) internStateLocked(idx int, e lotos.Expr) int32 {
 	}
 	id := int32(len(s.local[idx]))
 	s.intern[idx][key] = id
-	s.local[idx] = append(s.local[idx], localState{expr: e, sum: digest16([]byte(key))})
+	st := localState{expr: e, sum: digest16([]byte(key))}
+	if s.sym != nil {
+		st.symCols = s.sym.symColsFor(e)
+	}
+	s.local[idx] = append(s.local[idx], st)
 	return id
 }
 
@@ -170,7 +204,11 @@ func (s *System) msgIDLocked(m message) int32 {
 	buf = binary.AppendUvarint(buf, uint64(uint32(m.Node)))
 	buf = binary.AppendUvarint(buf, uint64(len(m.Occ)))
 	buf = append(buf, m.Occ...)
-	s.msgSum = append(s.msgSum, digest16(buf))
+	sum := digest16(buf)
+	s.msgSum = append(s.msgSum, sum)
+	if s.sym != nil {
+		s.msgMeta = append(s.msgMeta, s.sym.classify(m, sum))
+	}
 	return id
 }
 
@@ -234,6 +272,7 @@ func New(entities map[int]*lotos.Spec, cfg Config) (*System, error) {
 		Entities: entities,
 		placeIdx: map[int]int{},
 		cfg:      cfg,
+		red:      cfg.effectiveReductions(),
 		msgIDs:   map[message]int32{},
 	}
 	for p := range entities {
@@ -249,6 +288,13 @@ func New(entities map[int]*lotos.Spec, cfg Config) (*System, error) {
 		sys.placeIdx[p] = idx
 		sys.intern = append(sys.intern, map[string]int32{})
 		sys.local = append(sys.local, nil)
+	}
+	// Symmetry must be detected before any state or message is interned:
+	// the canonical column digests and message classifications are computed
+	// at intern time. String keys embed raw interned ids and cannot be
+	// canonicalized, so symmetry stays off under StringKeys.
+	if sys.red&RedSymmetry != 0 && !cfg.StringKeys {
+		sys.sym = detectSymmetry(sys.Places, entities)
 	}
 	return sys, nil
 }
@@ -307,12 +353,19 @@ type gstate struct {
 	chans  [][]int32
 }
 
-// key builds the canonical global state key.
+// key builds the canonical global state key. Under symmetry reduction the
+// key identifies the state's permutation orbit (see canonKeyLocked), falling
+// back to the identity key for states no column permutation applies to.
 func (s *System) key(g *gstate) string {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.cfg.StringKeys {
 		return s.stringKeyLocked(g)
+	}
+	if s.sym != nil {
+		if k, ok := s.canonKeyLocked(g); ok {
+			return k
+		}
 	}
 	return s.binaryKeyLocked(g)
 }
@@ -438,51 +491,79 @@ func (s *System) derive(g *gstate, annotate bool) ([]lts.GenTransition, []Witnes
 		}
 	}
 
-	// Partial-order reduction: if some entity's ONLY local transition is an
-	// internal action or an enabled receive, fire it as the state's sole
-	// global transition. Such a move is invisible, persistently enabled
-	// (only this entity consumes its queue heads; senders append at the
-	// tail), cannot disable any other entity's move (consuming a message
-	// only frees channel capacity), and cannot commit a local choice
-	// (there is no alternative). Every interleaving from this state is
-	// therefore weakly equivalent to one that takes the move first.
-	// Sends are NOT eligible: with bounded channels, reordering two sends
-	// onto one channel changes the FIFO order.
+	// Ample-set partial-order reduction: if one entity's complete local
+	// transition set qualifies as an ample set, fire exactly those
+	// transitions as the state's global moves. Two shapes qualify:
 	//
-	// Under a fault model, only the internal-action case remains eligible:
-	// an entity-local τ move touches no channel, so it commutes with every
-	// fault transition and disables none. A receive does NOT commute with
-	// faults on its channel (losing or duplicating the head it would
-	// consume leads elsewhere), so with faults enabled the receive is
-	// explored in full interleaving with the medium's moves.
-	if !s.cfg.NoReduction {
+	//   - a sole internal action: invisible, touches no channel, so it
+	//     commutes with every other entity's move and every medium fault,
+	//     disables nothing, and commits no local choice (no alternative);
+	//   - ALL local transitions are receives and EVERY one is consumable
+	//     right now on a fault-free channel: receives are invisible, only
+	//     this entity consumes its channels (senders append at the tail, so
+	//     a peer's move neither disables a receive nor changes which message
+	//     it consumes — flush receives discard the same prefix either way),
+	//     and since the full enabled set of the entity is taken, no local
+	//     choice branch is lost. Receives strictly decrease the number of
+	//     queued messages, so an exploration can never cycle through
+	//     ample-only states and starve another entity's moves (the ample-set
+	//     cycle proviso holds for free).
+	//
+	// An entity with a blocked receive is NOT eligible — a peer's send could
+	// enable it, committing the local choice differently — and neither are
+	// mixed internal/receive sets. Sends are never eligible: with bounded
+	// channels, reordering two sends onto one channel changes the FIFO
+	// order. A receive does not commute with faults on its channel (losing
+	// or duplicating the message it would consume leads elsewhere), so the
+	// all-receives shape additionally requires its channels fault-free;
+	// the sole-internal shape stays eligible under every fault model.
+	if s.red&RedPOR != 0 {
+	ample:
 		for idx, localID := range g.locals {
 			ts, err := s.localTrans(idx, localID)
 			if err != nil {
 				return nil, nil, fmt.Errorf("entity %d: %w", s.Places[idx], err)
 			}
-			if len(ts) != 1 {
+			if len(ts) == 0 {
 				continue
 			}
-			t := ts[0]
-			switch {
-			case t.label.Kind == lts.LInternal:
+			if len(ts) == 1 && ts[0].label.Kind == lts.LInternal {
+				t := ts[0]
 				next := g.clone(idx, t.to)
 				emit(lts.GenTransition{Label: lts.Internal(), Key: s.key(next), To: next},
 					WitnessStep{Kind: StepInternal, Place: s.Places[idx], TIndex: 0, Label: "i"})
-				return out, steps, nil
-			case t.label.Kind == lts.LEvent && t.label.Ev.Kind == lotos.EvRecv && !s.cfg.Faults.Any():
-				slot := int(t.peer)*n + idx
-				rest, ok := consumeIDs(g.chans[slot], t.msg, t.flush)
-				if !ok {
-					continue // blocked; not eligible
-				}
-				next := g.cloneChans(idx, t.to)
-				next.chans[slot] = rest
-				emit(lts.GenTransition{Label: lts.Internal(), Key: s.key(next), To: next},
-					s.recvStep(idx, 0, t))
+				s.ampleHits.Add(1)
 				return out, steps, nil
 			}
+			for _, t := range ts {
+				if t.label.Kind != lts.LEvent || t.label.Ev.Kind != lotos.EvRecv {
+					continue ample
+				}
+			}
+			rests := make([][]int32, len(ts))
+			for i, t := range ts {
+				slot := int(t.peer)*n + idx
+				if !s.channelFaultFree(slot) {
+					continue ample
+				}
+				rest, ok := consumeIDs(g.chans[slot], t.msg, t.flush)
+				if !ok {
+					continue ample // a blocked receive disqualifies the whole set
+				}
+				rests[i] = rest
+			}
+			for i, t := range ts {
+				slot := int(t.peer)*n + idx
+				next := g.cloneChans(idx, t.to)
+				next.chans[slot] = rests[i]
+				var st WitnessStep
+				if annotate {
+					st = s.recvStep(idx, i, t)
+				}
+				emit(lts.GenTransition{Label: lts.Internal(), Key: s.key(next), To: next}, st)
+			}
+			s.ampleHits.Add(1)
+			return out, steps, nil
 		}
 	}
 
@@ -560,6 +641,16 @@ func (s *System) derive(g *gstate, annotate bool) ([]lts.GenTransition, []Witnes
 		s.faultMoves(g, annotate, emit)
 	}
 	return out, steps, nil
+}
+
+// channelFaultFree reports whether the medium applies no fault transitions
+// to the given channel slot. The fault model is currently global — faults
+// apply to every channel or none — but the per-slot shape keeps every POR
+// eligibility decision local to the channels it actually touches, so a
+// per-channel fault model only has to change this predicate.
+func (s *System) channelFaultFree(slot int) bool {
+	_ = slot
+	return !s.cfg.Faults.Any()
 }
 
 // recvStep builds the witness annotation of a receive transition.
@@ -653,14 +744,62 @@ func (s *System) faultMoves(g *gstate, annotate bool, emit func(lts.GenTransitio
 // Explore builds the observable global transition graph of the composed
 // protocol system. With Config.Parallel it runs the frontier-at-a-time
 // parallel explorer; the serial explorer remains the oracle the parallel
-// path is cross-checked against.
+// path is cross-checked against. With RedSpill enabled the disk-spilling
+// explorer runs instead (it takes precedence over Parallel) and its
+// statistics become available through ReductionInfo.
 func (s *System) Explore() (*lts.Graph, error) {
 	root := s.rootState()
 	src := &source{sys: s}
+	if s.red&RedSpill != 0 {
+		g, st, err := lts.ExploreSourceSpill(src, s.key(root), root, s.cfg.Limits, lts.SpillConfig{
+			Budget: s.cfg.SpillBudget,
+			Dir:    s.cfg.SpillDir,
+		})
+		s.spillStats = st
+		return g, err
+	}
 	if s.cfg.Parallel {
 		return lts.ExploreSourceParallel(src, s.key(root), root, s.cfg.Limits, s.cfg.Workers)
 	}
 	return lts.ExploreSource(src, s.key(root), root, s.cfg.Limits)
+}
+
+// ExploreStatsOnly explores the product counting states without retaining
+// the graph — the memory-bounded census mode for products far past what a
+// retained graph could hold. Requires RedSpill (the spilling explorer is the
+// only one that can discard visited states) and no depth limits.
+func (s *System) ExploreStatsOnly() (*lts.SpillStats, error) {
+	if s.red&RedSpill == 0 {
+		return nil, fmt.Errorf("compose: ExploreStatsOnly requires the spill reduction")
+	}
+	root := s.rootState()
+	src := &source{sys: s}
+	_, st, err := lts.ExploreSourceSpill(src, s.key(root), root, s.cfg.Limits, lts.SpillConfig{
+		Budget:    s.cfg.SpillBudget,
+		Dir:       s.cfg.SpillDir,
+		StatsOnly: true,
+	})
+	s.spillStats = st
+	return st, err
+}
+
+// ReductionInfo reports the reduction configuration and the work each
+// enabled reduction did during the system's explorations so far.
+func (s *System) ReductionInfo() ReductionStats {
+	rs := ReductionStats{
+		Enabled:         (s.red | redExplicit).String(),
+		OrbitsCollapsed: s.orbitsCollapsed.Load(),
+		AmpleHits:       s.ampleHits.Load(),
+	}
+	if s.sym != nil {
+		rs.SymmetryColumns = s.sym.k
+	}
+	if st := s.spillStats; st != nil {
+		rs.SpillRuns = st.Runs
+		rs.SpilledBytes = st.SpilledBytes
+		rs.PeakMemBytes = st.PeakMemBytes
+	}
+	return rs
 }
 
 // rootState builds the composed initial state: every entity at its root

@@ -116,8 +116,11 @@ func NewCompositional(entities map[int]*lotos.Spec, ltss map[int]*EntityLTS, cfg
 		Entities: entities,
 		placeIdx: map[int]int{},
 		cfg:      cfg,
-		msgIDs:   map[message]int32{},
-		preset:   true,
+		// Quotient classes carry no syntax to detect columns in, so the
+		// symmetry reduction never applies to a preset system.
+		red:    cfg.effectiveReductions() &^ RedSymmetry,
+		msgIDs: map[message]int32{},
+		preset: true,
 	}
 	for p := range entities {
 		sys.Places = append(sys.Places, p)

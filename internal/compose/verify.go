@@ -65,6 +65,14 @@ type Report struct {
 	// and — when the verdict came from the monolithic fallback — why. Nil
 	// for plain monolithic verifications.
 	Compositional *CompositionalStats
+
+	// Reduction reports the state-space reductions the product exploration
+	// ran with and the work they did (orbits collapsed, ample hits, runs
+	// spilled). When a symmetry-reduced verification was non-conformant,
+	// the verdict and witness come from an automatic re-verification with
+	// symmetry off — so counterexamples replay against the concrete,
+	// unreduced product — and Reduction.Fallback records that.
+	Reduction *ReductionStats
 }
 
 // Ok reports overall success: trace equality at the checked depth, no
@@ -102,6 +110,13 @@ func (r *Report) Summary() string {
 	fmt.Fprintf(&b, "composed deadlocks: %d\n", r.ComposedDeadlocks)
 	if r.Faults.Any() {
 		fmt.Fprintf(&b, "fault model: %s\n", r.Faults)
+	}
+	if ri := r.Reduction; ri != nil && (ri.SymmetryColumns > 0 || ri.SpillRuns > 0 || ri.Fallback != "") {
+		fmt.Fprintf(&b, "reductions: %s (columns=%d orbits=%d ample=%d spillRuns=%d)\n",
+			ri.Enabled, ri.SymmetryColumns, ri.OrbitsCollapsed, ri.AmpleHits, ri.SpillRuns)
+		if ri.Fallback != "" {
+			fmt.Fprintf(&b, "  fallback: %s\n", ri.Fallback)
+		}
 	}
 	fmt.Fprintf(&b, "verdict: %v\n", map[bool]string{true: "OK", false: "FAIL"}[r.Ok()])
 	if r.Witness != nil {
@@ -148,6 +163,18 @@ type VerifyOptions struct {
 	// quotient artifacts (the injection point for content-addressed caches).
 	// Nil means BuildEntityLTS per place.
 	EntityProvider EntityProvider
+	// Reductions selects the product exploration's state-space reductions
+	// (zero value = the default set, POR only). Every reduction is verdict-
+	// preserving: a symmetry-reduced non-conformant verdict is automatically
+	// re-verified with symmetry off so the witness and deadlock counts refer
+	// to the concrete product (see Report.Reduction.Fallback).
+	Reductions Reductions
+	// SpillBudget bounds the in-memory visited index (bytes) when the
+	// reduction set includes RedSpill; past it, sorted runs spill to disk.
+	// 0 selects lts.DefaultSpillBudget.
+	SpillBudget int64
+	// SpillDir is the directory for spill runs ("" = os.TempDir()).
+	SpillDir string
 }
 
 // DefaultObsDepth is the default bounded-comparison depth.
@@ -192,11 +219,14 @@ func verifyMonolithic(service *lotos.Spec, entities map[int]*lotos.Spec, opts Ve
 		return nil, fmt.Errorf("compose: exploring service: %w", err)
 	}
 	sys, err := New(entities, Config{
-		ChannelCap: opts.ChannelCap,
-		Limits:     lim,
-		Parallel:   opts.Parallel,
-		Workers:    opts.Workers,
-		Faults:     opts.Faults,
+		ChannelCap:  opts.ChannelCap,
+		Limits:      lim,
+		Parallel:    opts.Parallel,
+		Workers:     opts.Workers,
+		Faults:      opts.Faults,
+		Reductions:  opts.Reductions,
+		SpillBudget: opts.SpillBudget,
+		SpillDir:    opts.SpillDir,
 	})
 	if err != nil {
 		return nil, err
@@ -206,13 +236,34 @@ func verifyMonolithic(service *lotos.Spec, entities map[int]*lotos.Spec, opts Ve
 		return nil, fmt.Errorf("compose: exploring composed system: %w", err)
 	}
 
+	ri := sys.ReductionInfo()
 	r := &Report{
 		ServiceGraph:  sg,
 		ComposedGraph: cg,
 		ObsDepth:      opts.ObsDepth,
 		Faults:        opts.Faults,
+		Reduction:     &ri,
 	}
 	verdict(r, opts)
+	if sys.sym != nil && !r.Ok() {
+		// The symmetry quotient is weakly bisimilar to the concrete product,
+		// so the verdict itself is trustworthy — but its graph stores one
+		// state per permutation orbit: deadlock counts are orbit counts, and
+		// a counterexample path would step through canonical representatives
+		// rather than replayable concrete states. Re-verify with symmetry
+		// stripped from the effective set (everything else unchanged) so the
+		// failure report — witness included — is byte-identical to an
+		// unreduced verification. Mirrors fallbackMonolithic in spirit; the
+		// repeated service exploration is cheap next to the product.
+		o := opts
+		o.Reductions = sys.red.Without(RedSymmetry)
+		full, err := verifyMonolithic(service, entities, o)
+		if err != nil {
+			return nil, err
+		}
+		full.Reduction.Fallback = "non-conformant under symmetry; re-verified without it"
+		return full, nil
+	}
 	if !r.Ok() && !opts.NoWitness {
 		w, err := buildWitness(sys, r, opts)
 		if err != nil {
@@ -311,11 +362,14 @@ func verifyCompositional(service *lotos.Spec, entities map[int]*lotos.Spec, opts
 		return nil, fmt.Errorf("compose: exploring service: %w", err)
 	}
 	sys, err := NewCompositional(entities, ltss, Config{
-		ChannelCap: opts.ChannelCap,
-		Limits:     lim,
-		Parallel:   opts.Parallel,
-		Workers:    opts.Workers,
-		Faults:     opts.Faults,
+		ChannelCap:  opts.ChannelCap,
+		Limits:      lim,
+		Parallel:    opts.Parallel,
+		Workers:     opts.Workers,
+		Faults:      opts.Faults,
+		Reductions:  opts.Reductions,
+		SpillBudget: opts.SpillBudget,
+		SpillDir:    opts.SpillDir,
 	})
 	if err != nil {
 		return nil, err
@@ -329,12 +383,14 @@ func verifyCompositional(service *lotos.Spec, entities map[int]*lotos.Spec, opts
 	stats.ProductStates = cg.NumStates()
 	stats.ProductTransitions = cg.NumTransitions()
 
+	ri := sys.ReductionInfo()
 	r := &Report{
 		ServiceGraph:  sg,
 		ComposedGraph: cg,
 		ObsDepth:      opts.ObsDepth,
 		Faults:        opts.Faults,
 		Compositional: stats,
+		Reduction:     &ri,
 	}
 	verdict(r, opts)
 	// An incomplete exploration is acceptable only when the truncation is

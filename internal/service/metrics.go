@@ -130,6 +130,27 @@ type CompositionalCounters struct {
 	ProductMS float64 `json:"productMs"`
 }
 
+// ReductionCounters aggregates the state-space reductions' work across every
+// verification the daemon computed (cache hits and joined singleflight calls
+// do not re-count).
+type ReductionCounters struct {
+	// Verifications counts computed verifications that reported reduction
+	// statistics; SymmetryActive the ones where interchangeable instance
+	// columns were actually detected.
+	Verifications  uint64 `json:"verifications"`
+	SymmetryActive uint64 `json:"symmetryActive"`
+	// OrbitsCollapsed sums states folded onto another orbit representative;
+	// AmpleHits sums states reduced to one entity's ample transition set.
+	OrbitsCollapsed uint64 `json:"orbitsCollapsed"`
+	AmpleHits       uint64 `json:"ampleHits"`
+	// SpillRuns / SpilledBytes sum the out-of-core visited-index activity.
+	SpillRuns    uint64 `json:"spillRuns"`
+	SpilledBytes uint64 `json:"spilledBytes"`
+	// Fallbacks counts symmetry-reduced failures re-verified unreduced for
+	// their concrete counterexample.
+	Fallbacks uint64 `json:"fallbacks"`
+}
+
 // ReuseRatio is the fraction of entity artifacts recalled from cache.
 func (c CompositionalCounters) ReuseRatio() float64 {
 	total := c.EntitiesBuilt + c.EntitiesReused
@@ -194,7 +215,26 @@ type Metrics struct {
 	equiv         EquivCounters
 	compile       CompileCounters
 	compositional CompositionalCounters
+	reduction     ReductionCounters
 	start         time.Time
+}
+
+// RecordReduction folds one verification's reduction statistics into the
+// aggregate.
+func (m *Metrics) RecordReduction(rep *protoderive.ReductionReport) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.reduction.Verifications++
+	if rep.SymmetryColumns > 0 {
+		m.reduction.SymmetryActive++
+	}
+	m.reduction.OrbitsCollapsed += uint64(rep.OrbitsCollapsed)
+	m.reduction.AmpleHits += uint64(rep.AmpleHits)
+	m.reduction.SpillRuns += uint64(rep.SpillRuns)
+	m.reduction.SpilledBytes += uint64(rep.SpilledBytes)
+	if rep.Fallback != "" {
+		m.reduction.Fallbacks++
+	}
 }
 
 // RecordCompositional folds one compositional verification's pipeline report
@@ -287,6 +327,10 @@ type MetricsSnapshot struct {
 	// the entity-artifact reuse ratio.
 	Compositional           CompositionalCounters `json:"compositional"`
 	CompositionalReuseRatio float64               `json:"compositionalReuseRatio"`
+	// Reduction aggregates the state-space reductions' counters (orbits
+	// collapsed, ample hits, spill activity) over every computed
+	// verification.
+	Reduction ReductionCounters `json:"reduction"`
 }
 
 // Snapshot returns a consistent copy of every counter.
@@ -300,6 +344,7 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		Compile:                 m.compile,
 		Compositional:           m.compositional,
 		CompositionalReuseRatio: m.compositional.ReuseRatio(),
+		Reduction:               m.reduction,
 	}
 	for name, ep := range m.endpoints {
 		st := EndpointStats{

@@ -237,6 +237,15 @@ type VerifyRequestOptions struct {
 	// recalled from the daemon's shared content-addressed cache. Verdicts
 	// match the monolithic path.
 	Compositional bool `json:"compositional,omitempty"`
+	// Reductions names the product exploration's reduction set ("default",
+	// "none", "all", or "+"-joined por/symmetry/spill). Every set is
+	// verdict-preserving, so responses for different sets agree — but they
+	// are cached separately (the set is part of the option fingerprint)
+	// because the reported statistics and state counts differ.
+	Reductions string `json:"reductions,omitempty"`
+	// SpillBudget bounds the in-memory visited index (bytes) when the
+	// reduction set includes "spill" (0 = the exploration default).
+	SpillBudget int64 `json:"spillBudget,omitempty"`
 }
 
 // faultModels parses and deduplicates the requested fault models.
@@ -260,10 +269,22 @@ func (o VerifyRequestOptions) faultFingerprint() string {
 	return strings.Join(names, ",")
 }
 
+// reductionFingerprint renders the requested reduction set canonically, so
+// spelling variants ("sym" vs "symmetry", reordered tokens) share a cache key
+// while distinct sets never collide. Unparseable input is fingerprinted
+// verbatim (the request fails validation anyway).
+func (o VerifyRequestOptions) reductionFingerprint() string {
+	name, err := protoderive.CanonicalReductions(o.Reductions)
+	if err != nil {
+		return o.Reductions
+	}
+	return name
+}
+
 func (o VerifyRequestOptions) fingerprint() string {
-	return fmt.Sprintf("%s cap=%d obs=%d max=%d par=%t w=%d diff=%d comp=%t faults=%s",
+	return fmt.Sprintf("%s cap=%d obs=%d max=%d par=%t w=%d diff=%d comp=%t faults=%s red=%s spill=%d",
 		o.DeriveRequestOptions.fingerprint(), o.ChannelCap, o.ObsDepth, o.MaxStates, o.Parallel, o.Workers,
-		o.TraceDiffLimit, o.Compositional, o.faultFingerprint())
+		o.TraceDiffLimit, o.Compositional, o.faultFingerprint(), o.reductionFingerprint(), o.SpillBudget)
 }
 
 // VerifyRequest is the body of POST /v1/verify.
@@ -302,6 +323,10 @@ type VerifyResponse struct {
 	// artifact reuse, fallback reason). Present only for compositional
 	// verifications.
 	Compositional *protoderive.CompositionalReport `json:"compositional,omitempty"`
+	// Reduction reports the state-space reductions the reliable-medium
+	// product exploration applied (symmetry orbits collapsed, ample-set
+	// hits, visited-index runs spilled).
+	Reduction *protoderive.ReductionReport `json:"reduction,omitempty"`
 }
 
 // FaultMatrixCell is one fault-matrix entry of a verify response.
@@ -603,6 +628,8 @@ func (s *Server) verifyResponse(svc *protoderive.Service, opts VerifyRequestOpti
 		TraceDiffLimit: opts.TraceDiffLimit,
 		Compositional:  opts.Compositional,
 		Artifacts:      s.arts,
+		Reductions:     opts.Reductions,
+		SpillBudget:    opts.SpillBudget,
 	}
 	progress("verify reliable")
 	rep, err := proto.Verify(vo)
@@ -615,6 +642,9 @@ func (s *Server) verifyResponse(svc *protoderive.Service, opts VerifyRequestOpti
 	}
 	if rep.Compositional != nil {
 		s.metrics.RecordCompositional(rep.Compositional)
+	}
+	if rep.Reduction != nil {
+		s.metrics.RecordReduction(rep.Reduction)
 	}
 	resp := &VerifyResponse{
 		Ok:             rep.Ok,
@@ -631,6 +661,7 @@ func (s *Server) verifyResponse(svc *protoderive.Service, opts VerifyRequestOpti
 		Witness:        rep.Witness,
 		Equiv:          rep.Equiv,
 		Compositional:  rep.Compositional,
+		Reduction:      rep.Reduction,
 	}
 	models, err := opts.faultModels()
 	if err != nil {

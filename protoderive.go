@@ -422,6 +422,18 @@ func ParseFaultModel(s string) (FaultModel, error) {
 	return FaultModel{Loss: f.Loss, Duplication: f.Duplication, Reorder: f.Reorder}, nil
 }
 
+// CanonicalReductions parses a reduction-set name (see
+// VerifyOptions.Reductions) and returns its canonical form, so spelling
+// variants ("sym" vs "symmetry", reordered tokens) share a daemon cache key
+// while distinct sets never collide.
+func CanonicalReductions(s string) (string, error) {
+	r, err := compose.ParseReductions(s)
+	if err != nil {
+		return "", specErr(err)
+	}
+	return r.String(), nil
+}
+
 // ParseFaultModels parses a comma-separated list of fault-model specs, e.g.
 // "loss,dup,loss+reorder". Duplicates are collapsed.
 func ParseFaultModels(s string) ([]FaultModel, error) {
@@ -467,6 +479,15 @@ type VerifyOptions struct {
 	// content-addressed cache instead of rebuilding them. Nil falls back to
 	// the protocol's attached cache (UseArtifacts), then to uncached builds.
 	Artifacts *ArtifactCache
+	// Reductions names the product exploration's reduction set: "" or
+	// "default" (partial-order reduction only), "none", "all", or "+"-joined
+	// names from "por", "symmetry", "spill". Every reduction is verdict-
+	// preserving — a symmetry-reduced failure is automatically re-verified
+	// unreduced so counterexamples replay against the concrete product.
+	Reductions string
+	// SpillBudget bounds the in-memory visited index (bytes) when the
+	// reduction set includes "spill" (0 = the exploration default).
+	SpillBudget int64
 }
 
 // VerifyReport is the verification verdict for the Section-5 correctness
@@ -503,6 +524,50 @@ type VerifyReport struct {
 	// quotient sizes, per-phase times, artifact reuse, fallback reason).
 	// Nil unless the verification ran with VerifyOptions.Compositional.
 	Compositional *CompositionalReport `json:",omitempty"`
+	// Reduction reports the state-space reductions the product exploration
+	// applied and the work they did (symmetry orbits collapsed, ample-set
+	// hits, visited-index runs spilled to disk).
+	Reduction *ReductionReport `json:",omitempty"`
+}
+
+// ReductionReport mirrors the composed exploration's reduction statistics:
+// which reductions were in force, how much each one cut, and whether a
+// symmetry-reduced failure fell back to an unreduced re-verification for its
+// concrete counterexample.
+type ReductionReport struct {
+	// Enabled is the canonical reduction-set name ("por", "por+symmetry", …).
+	Enabled string `json:"enabled"`
+	// SymmetryColumns is the number of interchangeable |||-instance columns
+	// detected (0 when symmetry was off or did not apply).
+	SymmetryColumns int `json:"symmetryColumns,omitempty"`
+	// OrbitsCollapsed counts states folded onto another orbit representative.
+	OrbitsCollapsed int64 `json:"orbitsCollapsed,omitempty"`
+	// AmpleHits counts states reduced to one entity's ample transition set.
+	AmpleHits int64 `json:"ampleHits,omitempty"`
+	// SpillRuns / SpilledBytes / PeakMemBytes describe the out-of-core
+	// visited index (zero when nothing spilled).
+	SpillRuns    int   `json:"spillRuns,omitempty"`
+	SpilledBytes int64 `json:"spilledBytes,omitempty"`
+	PeakMemBytes int64 `json:"peakMemBytes,omitempty"`
+	// Fallback records why the verdict was re-derived without symmetry.
+	Fallback string `json:"fallback,omitempty"`
+}
+
+// reductionReport mirrors compose reduction stats into the facade type.
+func reductionReport(ri *compose.ReductionStats) *ReductionReport {
+	if ri == nil {
+		return nil
+	}
+	return &ReductionReport{
+		Enabled:         ri.Enabled,
+		SymmetryColumns: ri.SymmetryColumns,
+		OrbitsCollapsed: ri.OrbitsCollapsed,
+		AmpleHits:       ri.AmpleHits,
+		SpillRuns:       ri.SpillRuns,
+		SpilledBytes:    ri.SpilledBytes,
+		PeakMemBytes:    ri.PeakMemBytes,
+		Fallback:        ri.Fallback,
+	}
 }
 
 // WitnessStep is one transition of a counterexample: an entity move (its
@@ -641,6 +706,10 @@ func (p *Protocol) Verify(opts *VerifyOptions) (out *VerifyReport, err error) {
 	if opts != nil {
 		o = *opts
 	}
+	red, err := compose.ParseReductions(o.Reductions)
+	if err != nil {
+		return nil, specErr(err)
+	}
 	rep, err := compose.Verify(lotos.CloneSpec(p.d.Service.Spec), cloneEntities(p.d.Entities), compose.VerifyOptions{
 		ChannelCap:     o.ChannelCap,
 		ObsDepth:       o.ObsDepth,
@@ -651,6 +720,8 @@ func (p *Protocol) Verify(opts *VerifyOptions) (out *VerifyReport, err error) {
 		TraceDiffLimit: o.TraceDiffLimit,
 		Compositional:  o.Compositional,
 		EntityProvider: p.entityProvider(o),
+		Reductions:     red,
+		SpillBudget:    o.SpillBudget,
 	})
 	if err != nil {
 		return nil, err
@@ -673,6 +744,7 @@ func verifyReport(rep *compose.Report) *VerifyReport {
 		Faults:         rep.Faults.String(),
 		Witness:        witnessReport(rep.Witness),
 		Compositional:  compositionalReport(rep.Compositional),
+		Reduction:      reductionReport(rep.Reduction),
 	}
 	if rep.Equiv != nil {
 		out.Equiv = &EquivStats{
@@ -712,6 +784,10 @@ func (p *Protocol) VerifyMatrix(models []FaultModel, opts *VerifyOptions) (cells
 	for i, f := range models {
 		cms[i] = f.compose()
 	}
+	red, err := compose.ParseReductions(o.Reductions)
+	if err != nil {
+		return nil, specErr(err)
+	}
 	mx, err := compose.VerifyMatrix(lotos.CloneSpec(p.d.Service.Spec), cloneEntities(p.d.Entities), cms, compose.VerifyOptions{
 		ChannelCap:     o.ChannelCap,
 		ObsDepth:       o.ObsDepth,
@@ -721,6 +797,8 @@ func (p *Protocol) VerifyMatrix(models []FaultModel, opts *VerifyOptions) (cells
 		TraceDiffLimit: o.TraceDiffLimit,
 		Compositional:  o.Compositional,
 		EntityProvider: p.entityProvider(o),
+		Reductions:     red,
+		SpillBudget:    o.SpillBudget,
 	})
 	if err != nil {
 		return nil, err

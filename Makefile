@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check fuzz-smoke fault-matrix-smoke compositional-smoke reduction-smoke cluster-smoke dist-smoke run-pgd bench bench-baseline bench-server bench-equiv bench-equiv-record bench-fsm bench-fsm-record bench-cluster bench-cluster-record bench-dist bench-dist-record bench-compositional bench-compositional-record bench-reduction bench-reduction-record
+.PHONY: build test check fuzz-smoke fault-matrix-smoke compositional-smoke reduction-smoke cluster-smoke dist-smoke live-smoke run-pgd bench bench-baseline bench-server bench-equiv bench-equiv-record bench-fsm bench-fsm-record bench-cluster bench-cluster-record bench-dist bench-dist-record bench-compositional bench-compositional-record bench-reduction bench-reduction-record
 
 # guard-record refuses to overwrite a committed BENCH_*.json file: each one
 # is the performance record of the PR that introduced its lane, captured on
@@ -32,6 +32,7 @@ check:
 	$(MAKE) reduction-smoke
 	$(MAKE) cluster-smoke
 	$(MAKE) dist-smoke
+	$(MAKE) live-smoke
 	$(MAKE) fuzz-smoke
 
 # fault-matrix-smoke sweeps the whole corpus through the fault matrix once
@@ -83,6 +84,18 @@ dist-smoke:
 	$(GO) test -race -count=1 ./internal/dist/
 	$(GO) test -race -count=1 -run '^(TestDistSmoke|TestCoordinatorEndToEnd|TestServeUntilDrainsInFlight|TestServeUntilGraceExceeded)$$' ./cmd/pgd/
 
+# live-smoke is the deployment gate: the wire codec, endpoint and
+# coordinator tests, the in-process corpus differential (every corpus spec
+# deployed over loopback TCP, the seeded session byte-identical to the
+# lockstep simulation with the same seed), the trace-log conformance
+# checker, the fault-injection proxy mirrored frame-for-frame against the
+# in-process medium, the PR-4 transport fault matrix re-established on
+# real sockets, and the pgdeploy binary suite — entities as real OS
+# processes, interpreter fallback live, crash/restart classified
+# incomplete. All under the race detector.
+live-smoke:
+	$(GO) test -race -count=1 ./internal/wire/ ./internal/wire/conformance/ ./internal/wire/wiretest/ ./cmd/pgdeploy/
+
 # fuzz-smoke runs each native fuzz target briefly; long fuzzing sessions
 # use `go test -fuzz` directly with a bigger -fuzztime.
 fuzz-smoke:
@@ -91,6 +104,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzVerifyFaults$$' -fuzztime 5s .
 	$(GO) test -run '^$$' -fuzz '^FuzzExploreReduced$$' -fuzztime 5s .
 	$(GO) test -run '^$$' -fuzz '^FuzzCompile$$' -fuzztime 5s ./internal/fsm
+	$(GO) test -run '^$$' -fuzz '^FuzzWireCodec$$' -fuzztime 5s ./internal/wire
 
 # run-pgd starts the derivation daemon on :8080 (override with ARGS).
 run-pgd:

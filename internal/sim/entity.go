@@ -1,0 +1,235 @@
+package sim
+
+// The single-entity seam: one protocol entity stepped by an EXTERNAL
+// scheduler. The wire deployment (internal/wire) runs each derived entity in
+// its own OS process; a coordinator grants steps over TCP in exactly the
+// order the in-process lockstep scheduler (Session.StepN) would, so a
+// distributed session with seed s is the same execution as Run with
+// Config{Lockstep: true, Seed: s}. EntityStepper is the runner loop of one
+// entity exposed for that driver: same stepper engines, same candidate
+// scan, same random-choice consumption — the engine-independent scheduling
+// contract of stepOnce, verbatim.
+
+import (
+	"fmt"
+
+	"repro/internal/fsm"
+	"repro/internal/lotos"
+	"repro/internal/medium"
+)
+
+// HarnessSeed derives the seed of a run's default accept-all harness —
+// exactly the stream resolveSeeds hands Run and Session. External
+// schedulers that host the harness themselves (the wire coordinator) must
+// use it to stay execution-identical to an in-process lockstep run.
+func HarnessSeed(seed int64) int64 { return SubSeed(seed, roleHarness, 0) }
+
+// RunnerSeed derives the scheduling seed of the entity at sorted-place
+// index placeIndex — the stream buildRunners hands runner placeIndex.
+func RunnerSeed(seed int64, placeIndex int) int64 {
+	return SubSeed(seed, roleRunner, placeIndex)
+}
+
+// StepOutcome reports one external step of an entity.
+type StepOutcome struct {
+	// Progressed reports that the entity executed a transition.
+	Progressed bool
+	// Done reports successful termination (the δ transition fired); the
+	// entity must not be stepped again.
+	Done bool
+	// Event is the service primitive executed this step, if any.
+	Event *lotos.Event
+}
+
+// EntityStepper drives one protocol entity against an arbitrary
+// medium.Transport, one stepOnce at a time, on the caller's goroutine.
+// It is single-goroutine state: not safe for concurrent use.
+type EntityStepper struct {
+	r      *runner
+	w      *world
+	engine Engine
+	done   bool
+}
+
+// NewEntityStepper builds the external-scheduler seam for one entity.
+// machine selects the compiled engine when non-nil; otherwise spec is
+// interpreted by the AST engine (exactly the per-entity fallback of
+// buildRunners). seed must be RunnerSeed(runSeed, placeIndex) and harness
+// the shared run harness for the execution to match an in-process run.
+func NewEntityStepper(place int, spec *lotos.Spec, machine *fsm.Machine, med medium.Transport, harness Harness, seed int64) (*EntityStepper, error) {
+	if harness == nil {
+		return nil, fmt.Errorf("sim: entity stepper needs a harness")
+	}
+	var st stepper
+	engine := EngineAST
+	if machine != nil {
+		st = newFSMStepper(machine)
+		engine = EngineFSM
+	} else {
+		if spec == nil {
+			return nil, fmt.Errorf("sim: entity %d: no compiled machine and no specification to interpret", place)
+		}
+		ast, err := newASTStepper(place, spec)
+		if err != nil {
+			return nil, err
+		}
+		st = ast
+	}
+	// A private single-entity world collects this entity's executed service
+	// primitives; the external scheduler owns the global trace, MaxEvents
+	// accounting and stop conditions, so the local world never stops.
+	w := newWorld(1, med, 0)
+	r := newRunner(place, st, med, w, Config{Harness: harness}, seed)
+	return &EntityStepper{r: r, w: w, engine: engine}, nil
+}
+
+// Engine reports which engine the stepper runs (EngineFSM when compiled).
+func (e *EntityStepper) Engine() Engine { return e.engine }
+
+// StepOnce attempts one transition, exactly as one lockstep sweep visit
+// would. After termination it reports Done without stepping.
+func (e *EntityStepper) StepOnce() (StepOutcome, error) {
+	if e.done {
+		return StepOutcome{Done: true}, nil
+	}
+	before := e.events()
+	progressed, done, err := e.r.stepOnce()
+	if err != nil {
+		return StepOutcome{}, err
+	}
+	out := StepOutcome{Progressed: progressed, Done: done}
+	if done {
+		e.done = true
+	}
+	if after := e.eventAt(before); after != nil {
+		out.Event = after
+	}
+	return out, nil
+}
+
+// events returns how many service primitives the entity has executed.
+func (e *EntityStepper) events() int {
+	e.w.mu.Lock()
+	defer e.w.mu.Unlock()
+	return len(e.w.trace)
+}
+
+// eventAt returns the event recorded at index i (nil when none was).
+func (e *EntityStepper) eventAt(i int) *lotos.Event {
+	e.w.mu.Lock()
+	defer e.w.mu.Unlock()
+	if i >= len(e.w.trace) {
+		return nil
+	}
+	ev := e.w.trace[i].Ev
+	return &ev
+}
+
+// Describe renders the entity's current state for diagnostics.
+func (e *EntityStepper) Describe() string {
+	if e.done {
+		return "terminated"
+	}
+	return e.r.step.describe()
+}
+
+// Enabled classifies the entity's current transition row for a global
+// quiescence check: the external scheduler combines the per-entity reports
+// into the composition-level enabledness verdict (mirroring the replayer's
+// anyEnabled). SendTargets lists the destination place of every send
+// transition (enabledness of a send is a global question — it depends on
+// the receiver's queue occupancy against the channel capacity — so the
+// stepper only reports the offer).
+type Enabled struct {
+	// Delta reports a successful-termination transition.
+	Delta bool
+	// Local reports an internal transition or a service-primitive offer —
+	// always executable, so any entity with Local set is not quiescent.
+	Local bool
+	// RecvReady reports a receive transition whose wanted message is
+	// currently consumable from the entity's medium.
+	RecvReady bool
+	// SendTargets are the destination places of the row's send transitions.
+	SendTargets []int
+}
+
+// Enabledness computes the entity's current Enabled report.
+func (e *EntityStepper) Enabledness() (Enabled, error) {
+	var en Enabled
+	if e.done {
+		return en, nil
+	}
+	s := e.r.step
+	n, err := s.reload()
+	if err != nil {
+		return en, err
+	}
+	for i := 0; i < n; i++ {
+		switch s.op(i) {
+		case fsm.OpDelta:
+			en.Delta = true
+		case fsm.OpInternal, fsm.OpService:
+			en.Local = true
+		case fsm.OpSend:
+			en.SendTargets = append(en.SendTargets, s.ev(i).Place)
+		case fsm.OpRecv:
+			if e.r.med.TryConsumeCheck(medium.WantedBy(e.r.place, s.ev(i))) {
+				en.RecvReady = true
+			}
+		case fsm.OpRecvFlush:
+			if e.r.med.TryConsumeFlushCheck(medium.WantedBy(e.r.place, s.ev(i))) {
+				en.RecvReady = true
+			}
+		}
+	}
+	return en, nil
+}
+
+// StepExact executes transition tindex of the current row, validating that
+// its dispatch kind matches want — the distributed face of witness replay
+// (sim.ReplayWitness's per-step execution, with the medium fault steps
+// handled elsewhere). wantService/wantSend/... use the compose step-kind
+// strings; the caller maps them to fsm ops via ExactKind.
+func (e *EntityStepper) StepExact(tindex int, want fsm.Op) (StepOutcome, error) {
+	if e.done {
+		return StepOutcome{}, fmt.Errorf("sim: entity %d already terminated", e.r.place)
+	}
+	s := e.r.step
+	n, err := s.reload()
+	if err != nil {
+		return StepOutcome{}, err
+	}
+	if want == fsm.OpDelta {
+		// Global termination: take the entity's δ transition regardless of
+		// tindex (the witness's δ step is a single global transition).
+		for i := 0; i < n; i++ {
+			if s.op(i) == fsm.OpDelta {
+				if err := s.advance(i); err != nil {
+					return StepOutcome{}, err
+				}
+				e.done = true
+				return StepOutcome{Progressed: true, Done: true}, nil
+			}
+		}
+		return StepOutcome{}, fmt.Errorf("sim: entity %d cannot terminate", e.r.place)
+	}
+	if tindex < 0 || tindex >= n {
+		return StepOutcome{}, fmt.Errorf("sim: entity %d has %d transitions, step selects #%d", e.r.place, n, tindex)
+	}
+	op := s.op(tindex)
+	if op != want && !(want == fsm.OpRecv && op == fsm.OpRecvFlush) {
+		return StepOutcome{}, fmt.Errorf("sim: entity %d transition #%d is %s, not %s", e.r.place, tindex, op, want)
+	}
+	before := e.events()
+	if err := e.r.execute(tindex); err != nil {
+		return StepOutcome{}, err
+	}
+	if err := s.advance(tindex); err != nil {
+		return StepOutcome{}, err
+	}
+	out := StepOutcome{Progressed: true}
+	if after := e.eventAt(before); after != nil {
+		out.Event = after
+	}
+	return out, nil
+}

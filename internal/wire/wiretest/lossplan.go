@@ -1,0 +1,57 @@
+package wiretest
+
+import (
+	"fmt"
+
+	"repro/internal/compose"
+)
+
+// LossPlan compiles a verification counterexample's medium-loss steps into a
+// proxy drop schedule: for every StepLoss it determines which sender-side
+// sequence number the struck queue position corresponds to, by replaying the
+// witness's sends and receives against per-channel FIFO models. The result
+// is the exact set of frames a proxy must drop for the live deployment to
+// experience the witness's faults at the witness's points.
+//
+// Only loss faults translate: duplication and reordering change the
+// composition's queue contents in ways the replay coordinator does not
+// drive, and are rejected.
+func LossPlan(w *compose.Witness) (Faults, error) {
+	type qitem struct {
+		seq uint64
+		msg string
+	}
+	queues := map[[2]int][]qitem{}
+	sent := map[[2]int]uint64{}
+	var f Faults
+	for i, st := range w.Steps {
+		ch := [2]int{st.From, st.To}
+		switch st.Kind {
+		case compose.StepSend:
+			sent[ch]++
+			queues[ch] = append(queues[ch], qitem{seq: sent[ch], msg: st.Msg})
+		case compose.StepRecv:
+			q := queues[ch]
+			if len(q) == 0 {
+				return Faults{}, fmt.Errorf("wiretest: step %d receives on empty channel %d->%d", i, st.From, st.To)
+			}
+			if q[0].msg != st.Msg {
+				return Faults{}, fmt.Errorf("wiretest: step %d receives %q past the channel head %q (flush receive, unsupported live)",
+					i, st.Msg, q[0].msg)
+			}
+			queues[ch] = q[1:]
+		case compose.StepLoss:
+			q := queues[ch]
+			if st.Index < 0 || st.Index >= len(q) {
+				return Faults{}, fmt.Errorf("wiretest: step %d loss index %d outside channel %d->%d queue of %d",
+					i, st.Index, st.From, st.To, len(q))
+			}
+			f.Drop = append(f.Drop, ChannelSeq{From: st.From, To: st.To, Seq: q[st.Index].seq})
+			queues[ch] = append(q[:st.Index:st.Index], q[st.Index+1:]...)
+		case compose.StepDuplicate, compose.StepReorder:
+			return Faults{}, fmt.Errorf("wiretest: %s faults are not supported in live replay", st.Kind)
+		}
+	}
+	sortSpecs(f.Drop)
+	return f, nil
+}

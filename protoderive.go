@@ -38,6 +38,7 @@ import (
 	"repro/internal/lotos"
 	"repro/internal/lts"
 	"repro/internal/sim"
+	"repro/internal/wire/conformance"
 )
 
 // SpecError is the structured error the facade returns for every failure
@@ -1174,6 +1175,55 @@ func LoadClusterScenario(path string) (sc *cluster.Scenario, err error) {
 		return nil, specErr(err)
 	}
 	return sc, nil
+}
+
+// ConformanceReport is the verdict of checking a live deployment's recorded
+// trace logs against the service: the per-entity logs are merged by global
+// sequence number and the resulting observable trace replayed against the
+// service LTS.
+type ConformanceReport struct {
+	// Verdict is "accepted", "incomplete", "deadlock" or "violation";
+	// Reason explains it.
+	Verdict string `json:"verdict"`
+	Reason  string `json:"reason"`
+	// Trace is the merged global observable trace.
+	Trace []string `json:"trace"`
+	// TraceAccepted reports the trace is a weak trace of the service.
+	TraceAccepted bool `json:"traceAccepted"`
+	// Complete reports no observations were missing (all logs ended, no
+	// sequence gaps, no restarts, no aborts).
+	Complete bool `json:"complete"`
+	// Outcome is the session outcome the logs agree on.
+	Outcome string `json:"outcome,omitempty"`
+	// Gaps/Beyond/Restarts quantify missing observations.
+	Gaps     int `json:"gaps,omitempty"`
+	Beyond   int `json:"beyond,omitempty"`
+	Restarts int `json:"restarts,omitempty"`
+}
+
+// CheckTraceLogs parses the per-entity NDJSON trace logs a pgdeploy
+// deployment wrote (one file per entity) and checks the merged global trace
+// against this service: accept = trace inclusion, with deadlock flagged on
+// quiescent non-final states and missing observations reported as an
+// incomplete (prefix-checked) session. maxStates bounds the service
+// exploration (0 = default).
+func (s *Service) CheckTraceLogs(paths []string, maxStates int) (rep *ConformanceReport, err error) {
+	defer guard(&err)
+	r, err := conformance.CheckFiles(lotos.CloneSpec(s.spec), paths, maxStates)
+	if err != nil {
+		return nil, err
+	}
+	return &ConformanceReport{
+		Verdict:       string(r.Verdict),
+		Reason:        r.Reason,
+		Trace:         append([]string(nil), r.Trace...),
+		TraceAccepted: r.TraceAccepted,
+		Complete:      r.Complete,
+		Outcome:       r.Outcome,
+		Gaps:          r.Gaps,
+		Beyond:        r.Beyond,
+		Restarts:      r.Restarts,
+	}, nil
 }
 
 // Version identifies the library.
